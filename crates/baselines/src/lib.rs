@@ -1,0 +1,41 @@
+//! # themis-baselines
+//!
+//! The baseline GPU-cluster schedulers Themis is evaluated against
+//! (NSDI 2020, §8). None of the original systems is open source, so — like
+//! the paper itself — we implement the *emulations* the paper describes:
+//!
+//! * [`gandiva::Gandiva`] — introspective packing: apps report placement
+//!   scores for offered resources and a greedy algorithm maximizes
+//!   aggregate placement score at every lease boundary, with no fairness
+//!   objective.
+//! * [`tiresias::Tiresias`] — Least Attained Service: free GPUs go to the
+//!   apps that have received the least total GPU service so far,
+//!   placement-insensitively.
+//! * [`slaq::Slaq`] — quality-driven scheduling: free GPUs go wherever they
+//!   buy the largest aggregate decrease in training loss over the next
+//!   lease interval.
+//! * [`drf::Drf`] — instantaneous Dominant Resource Fairness (the
+//!   motivation-section strawman): GPUs go to the app with the smallest
+//!   current dominant share.
+//!
+//! Every baseline implements the [`themis_sim::scheduler::Scheduler`] trait,
+//! so all of them (and Themis itself) run in exactly the same simulation
+//! harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod drf;
+pub mod gandiva;
+pub mod slaq;
+pub mod tiresias;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::drf::Drf;
+    pub use crate::gandiva::Gandiva;
+    pub use crate::slaq::Slaq;
+    pub use crate::tiresias::Tiresias;
+}
+
+pub use prelude::*;

@@ -1,0 +1,75 @@
+//! Micro-benchmark of the partial-allocation auction solve time.
+//!
+//! Reproduces the §8.3.2 overhead measurement: the paper reports 354 ms
+//! median / 1398 ms 95th-percentile for the Gurobi-based solve, with the
+//! tail driven by rounds with many offered GPUs and many bidding apps. The
+//! bench sweeps both dimensions so the same shape (solve time grows with
+//! offer size and bidder count) can be observed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use themis_cluster::alloc::FreeVector;
+use themis_cluster::ids::{AppId, MachineId};
+use themis_core::auction::partial_allocation;
+use themis_protocol::bid::BidTable;
+
+/// Builds a bid table for `app` over `machines` machines with up to
+/// `max_gpus` GPUs per entry, following the homogeneous rho/k scaling.
+fn bid(app: u32, current_rho: f64, machines: &[u32], max_gpus: usize) -> BidTable {
+    let mut table = BidTable::empty(AppId(app), current_rho);
+    for k in 1..=max_gpus {
+        // Spread k GPUs over the app's preferred machines round-robin.
+        let mut counts = vec![0usize; machines.len()];
+        for i in 0..k {
+            counts[i % machines.len()] += 1;
+        }
+        let fv = FreeVector::from_counts(
+            machines
+                .iter()
+                .zip(counts)
+                .filter(|(_, c)| *c > 0)
+                .map(|(m, c)| (MachineId(*m), c)),
+        );
+        table.push(fv, current_rho / k as f64);
+    }
+    table
+}
+
+fn offer(machines: u32, gpus_per_machine: usize) -> FreeVector {
+    FreeVector::from_counts((0..machines).map(|m| (MachineId(m), gpus_per_machine)))
+}
+
+fn bench_partial_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_allocation");
+    for &num_apps in &[2usize, 4, 8, 16] {
+        let machines: u32 = 16;
+        let bids: Vec<BidTable> = (0..num_apps)
+            .map(|i| {
+                let prefer: Vec<u32> = (0..4).map(|j| ((i as u32) + j) % machines).collect();
+                bid(i as u32, 20.0 + i as f64, &prefer, 8)
+            })
+            .collect();
+        let off = offer(machines, 4);
+        group.bench_with_input(
+            BenchmarkId::new("bidding_apps", num_apps),
+            &num_apps,
+            |b, _| b.iter(|| partial_allocation(std::hint::black_box(&bids), std::hint::black_box(&off))),
+        );
+    }
+    for &gpus in &[16usize, 64, 128, 256] {
+        let machines = (gpus / 4) as u32;
+        let bids: Vec<BidTable> = (0..8)
+            .map(|i| {
+                let prefer: Vec<u32> = (0..4).map(|j| ((i as u32) + j) % machines).collect();
+                bid(i as u32, 20.0 + i as f64, &prefer, 8)
+            })
+            .collect();
+        let off = offer(machines, 4);
+        group.bench_with_input(BenchmarkId::new("offered_gpus", gpus), &gpus, |b, _| {
+            b.iter(|| partial_allocation(std::hint::black_box(&bids), std::hint::black_box(&off)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_allocation);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end simulator throughput benchmark plus the hidden-payment
+//! ablation called out in DESIGN.md.
+//!
+//! `end_to_end` measures the wall-clock cost of simulating a full workload
+//! under Themis vs the baselines (useful when scaling the figure
+//! experiments); `hidden_payment_ablation` compares auction solve time with
+//! and without the truth-telling payment, quantifying the cost of
+//! incentive compatibility.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use themis_bench::policies::Policy;
+use themis_cluster::alloc::FreeVector;
+use themis_cluster::cluster::Cluster;
+use themis_cluster::ids::{AppId, MachineId};
+use themis_cluster::time::Time;
+use themis_cluster::topology::ClusterSpec;
+use themis_core::auction::partial_allocation_with;
+use themis_protocol::bid::BidTable;
+use themis_sim::engine::{Engine, SimConfig};
+use themis_workload::trace::{TraceConfig, TraceGenerator};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_simulation");
+    group.sample_size(10);
+    for policy in [Policy::themis_default(), Policy::Tiresias, Policy::Gandiva] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let cluster = Cluster::new(ClusterSpec::testbed_50());
+                    let trace = TraceGenerator::new(
+                        TraceConfig::testbed().with_num_apps(6).with_seed(1),
+                    )
+                    .generate();
+                    let sim = SimConfig::default()
+                        .with_max_sim_time(Time::minutes(500_000.0));
+                    Engine::new(cluster, trace, policy.build(), sim).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hidden_payment_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hidden_payment_ablation");
+    let machines: u32 = 12;
+    let offer = FreeVector::from_counts((0..machines).map(|m| (MachineId(m), 4)));
+    let bids: Vec<BidTable> = (0..8u32)
+        .map(|i| {
+            let mut t = BidTable::empty(AppId(i), 30.0 + i as f64);
+            for k in 1..=8usize {
+                let mut counts = vec![0usize; 4];
+                for j in 0..k {
+                    counts[j % 4] += 1;
+                }
+                let fv = FreeVector::from_counts(
+                    counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(j, c)| (MachineId((i + j as u32) % machines), *c)),
+                );
+                t.push(fv, (30.0 + i as f64) / k as f64);
+            }
+            t
+        })
+        .collect();
+    group.bench_function("with_hidden_payments", |b| {
+        b.iter(|| partial_allocation_with(std::hint::black_box(&bids), std::hint::black_box(&offer), true))
+    });
+    group.bench_function("without_hidden_payments", |b| {
+        b.iter(|| partial_allocation_with(std::hint::black_box(&bids), std::hint::black_box(&offer), false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_hidden_payment_ablation);
+criterion_main!(benches);

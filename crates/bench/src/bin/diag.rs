@@ -1,0 +1,59 @@
+//! Ad-hoc diagnostic: per-app outcomes for Themis vs the baselines on the
+//! end-to-end test workload. Useful when tuning the scheduler.
+
+use themis_bench::experiments::{run_policy, Scale};
+use themis_bench::policies::Policy;
+use themis_cluster::topology::ClusterSpec;
+use themis_sim::engine::SimConfig;
+use themis_cluster::time::Time;
+use themis_workload::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let scale = Scale {
+        sim_apps: 8,
+        testbed_apps: 8,
+        seed: 42,
+    };
+    let trace = TraceGenerator::new(
+        TraceConfig::testbed()
+            .with_num_apps(scale.testbed_apps)
+            .with_seed(scale.seed),
+    )
+    .generate();
+    for app in &trace {
+        println!(
+            "app {} arrives {:.0} jobs {} demand {} ideal {:.1} net={} total_work {:.0}",
+            app.id.0,
+            app.arrival.as_minutes(),
+            app.num_jobs(),
+            app.max_parallelism(),
+            app.ideal_running_time().as_minutes(),
+            app.is_network_intensive(),
+            app.total_work().as_minutes(),
+        );
+    }
+    let cluster = ClusterSpec::testbed_50();
+    let sim = SimConfig::default().with_max_sim_time(Time::minutes(2_000_000.0));
+    for policy in [Policy::themis_default(), Policy::Gandiva, Policy::Tiresias] {
+        let report = run_policy(policy, trace.clone(), &cluster, sim);
+        println!(
+            "\n== {} == max_rho {:.1} jain {:.3} gpu_time {:.0} rounds {}",
+            policy.name(),
+            report.max_fairness().unwrap_or(f64::NAN),
+            report.jains_index().unwrap_or(f64::NAN),
+            report.total_gpu_time.as_minutes(),
+            report.scheduling_rounds
+        );
+        for a in &report.apps {
+            println!(
+                "  app {} rho {:>8.1} ct {:>8.1} ideal {:>6.1} service {:>8.0} placement {:.2}",
+                a.app.0,
+                a.rho.unwrap_or(f64::NAN),
+                a.completion_time.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+                a.ideal_running_time.as_minutes(),
+                a.attained_service.as_minutes(),
+                a.placement_score
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p themis-bench --bin figures -- all
+//! cargo run --release -p themis-bench --bin figures -- fig5a fig5b
+//! cargo run --release -p themis-bench --bin figures -- --apps 60 fig4a
+//! cargo run --release -p themis-bench --bin figures -- --tiny all
+//! ```
+
+use themis_bench::experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures [--tiny] [--apps N] [--seed S] <fig-id>... | all");
+        eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+
+    let mut scale = Scale::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tiny" => scale = Scale::tiny(),
+            "--apps" => {
+                let n = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--apps needs a number");
+                scale.sim_apps = n;
+                scale.testbed_apps = n;
+            }
+            "--seed" => {
+                scale.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let mut failed = false;
+    for id in ids {
+        match run_experiment(&id, scale) {
+            Some(table) => {
+                println!("{table}");
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

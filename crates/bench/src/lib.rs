@@ -1,0 +1,20 @@
+//! # themis-bench
+//!
+//! Experiment harness for the Themis reproduction (NSDI 2020).
+//!
+//! This crate turns the building blocks of the workspace (cluster model,
+//! trace generator, simulator, Themis and the baselines) into the concrete
+//! experiments of the paper's evaluation section. Every table and figure
+//! has a function in [`experiments`] that regenerates its rows, and the
+//! `figures` binary prints them (`cargo run -p themis-bench --bin figures --
+//! all`). The Criterion benches in `benches/` measure the §8.3.2 system
+//! overheads (bid preparation and partial-allocation solve times).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod policies;
+
+pub use experiments::*;
+pub use policies::Policy;

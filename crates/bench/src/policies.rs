@@ -1,0 +1,82 @@
+//! Scheduling policies under test, by name.
+
+use themis_baselines::{Drf, Gandiva, Slaq, Tiresias};
+use themis_core::config::ThemisConfig;
+use themis_core::scheduler::ThemisScheduler;
+use themis_sim::scheduler::Scheduler;
+
+/// A scheduling policy that can be instantiated for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Themis with a given configuration.
+    Themis(ThemisConfig),
+    /// The Gandiva placement-greedy emulation.
+    Gandiva,
+    /// The Tiresias least-attained-service emulation.
+    Tiresias,
+    /// The SLAQ quality-driven emulation.
+    Slaq,
+    /// Instantaneous dominant-resource fairness.
+    Drf,
+}
+
+impl Policy {
+    /// Themis with the paper's recommended defaults (`f = 0.8`).
+    pub fn themis_default() -> Policy {
+        Policy::Themis(ThemisConfig::default())
+    }
+
+    /// The four policies compared in the paper's macro-benchmarks
+    /// (Figures 5–7), in presentation order.
+    pub fn macrobenchmark_set() -> Vec<Policy> {
+        vec![
+            Policy::themis_default(),
+            Policy::Gandiva,
+            Policy::Slaq,
+            Policy::Tiresias,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Themis(_) => "themis",
+            Policy::Gandiva => "gandiva",
+            Policy::Tiresias => "tiresias",
+            Policy::Slaq => "slaq",
+            Policy::Drf => "drf",
+        }
+    }
+
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Themis(config) => Box::new(ThemisScheduler::new(*config)),
+            Policy::Gandiva => Box::new(Gandiva::new()),
+            Policy::Tiresias => Box::new(Tiresias::new()),
+            Policy::Slaq => Box::new(Slaq::new()),
+            Policy::Drf => Box::new(Drf::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_builders() {
+        for policy in Policy::macrobenchmark_set() {
+            let scheduler = policy.build();
+            assert_eq!(scheduler.name(), policy.name());
+        }
+        assert_eq!(Policy::Drf.build().name(), "drf");
+    }
+
+    #[test]
+    fn macrobenchmark_set_has_four_policies() {
+        let set = Policy::macrobenchmark_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0].name(), "themis");
+    }
+}

@@ -1,0 +1,327 @@
+//! GPU allocation vectors.
+//!
+//! Two related representations are used throughout the scheduler:
+//!
+//! * [`GpuAlloc`] — a concrete set of GPU ids held by (or proposed for) a
+//!   job or app. This is the `[G_{x,y,i}]` vector of the paper's
+//!   optimization program (§4), stored sparsely.
+//! * [`FreeVector`] — per-machine counts of *free* GPUs; this is the
+//!   resource offer `R` the Arbiter auctions off, where each dimension is
+//!   the number of unused GPUs in a given machine (§5.1).
+
+use crate::ids::{GpuId, MachineId};
+use crate::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A concrete set of GPUs assigned to one job or app.
+///
+/// Internally a sorted set, so iteration order (and therefore every
+/// simulation that consumes it) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuAlloc {
+    gpus: BTreeSet<GpuId>,
+}
+
+impl GpuAlloc {
+    /// The empty allocation.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds an allocation from an iterator of GPU ids.
+    pub fn from_gpus(gpus: impl IntoIterator<Item = GpuId>) -> Self {
+        GpuAlloc {
+            gpus: gpus.into_iter().collect(),
+        }
+    }
+
+    /// Number of GPUs in the allocation.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// `true` if no GPUs are held.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Whether a specific GPU is part of this allocation.
+    pub fn contains(&self, gpu: GpuId) -> bool {
+        self.gpus.contains(&gpu)
+    }
+
+    /// Adds a GPU; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, gpu: GpuId) -> bool {
+        self.gpus.insert(gpu)
+    }
+
+    /// Removes a GPU; returns `true` if it was present.
+    pub fn remove(&mut self, gpu: GpuId) -> bool {
+        self.gpus.remove(&gpu)
+    }
+
+    /// Iterates over the GPUs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = GpuId> + '_ {
+        self.gpus.iter().copied()
+    }
+
+    /// Set-union with another allocation.
+    pub fn union(&self, other: &GpuAlloc) -> GpuAlloc {
+        GpuAlloc {
+            gpus: self.gpus.union(&other.gpus).copied().collect(),
+        }
+    }
+
+    /// GPUs in `self` but not in `other`.
+    pub fn difference(&self, other: &GpuAlloc) -> GpuAlloc {
+        GpuAlloc {
+            gpus: self.gpus.difference(&other.gpus).copied().collect(),
+        }
+    }
+
+    /// GPUs present in both allocations.
+    pub fn intersection(&self, other: &GpuAlloc) -> GpuAlloc {
+        GpuAlloc {
+            gpus: self.gpus.intersection(&other.gpus).copied().collect(),
+        }
+    }
+
+    /// `true` if the two allocations share no GPU.
+    pub fn is_disjoint(&self, other: &GpuAlloc) -> bool {
+        self.gpus.is_disjoint(&other.gpus)
+    }
+
+    /// Per-machine GPU counts for this allocation.
+    pub fn per_machine(&self, spec: &ClusterSpec) -> BTreeMap<MachineId, usize> {
+        let mut counts = BTreeMap::new();
+        for gpu in &self.gpus {
+            if let Some(machine) = spec.machine_of(*gpu) {
+                *counts.entry(machine).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The set of distinct machines spanned by this allocation.
+    pub fn machines(&self, spec: &ClusterSpec) -> BTreeSet<MachineId> {
+        self.gpus
+            .iter()
+            .filter_map(|g| spec.machine_of(*g))
+            .collect()
+    }
+}
+
+impl FromIterator<GpuId> for GpuAlloc {
+    fn from_iter<T: IntoIterator<Item = GpuId>>(iter: T) -> Self {
+        GpuAlloc::from_gpus(iter)
+    }
+}
+
+impl IntoIterator for GpuAlloc {
+    type Item = GpuId;
+    type IntoIter = std::collections::btree_set::IntoIter<GpuId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gpus.into_iter()
+    }
+}
+
+/// Per-machine counts of free GPUs: the resource offer `R` auctioned by the
+/// Arbiter. Machines with zero free GPUs are omitted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeVector {
+    counts: BTreeMap<MachineId, usize>,
+}
+
+impl FreeVector {
+    /// An empty offer.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a free vector from `(machine, count)` pairs, dropping zeros.
+    pub fn from_counts(counts: impl IntoIterator<Item = (MachineId, usize)>) -> Self {
+        FreeVector {
+            counts: counts.into_iter().filter(|(_, c)| *c > 0).collect(),
+        }
+    }
+
+    /// Builds a free vector describing a concrete set of free GPUs.
+    pub fn from_gpus(gpus: impl IntoIterator<Item = GpuId>, spec: &ClusterSpec) -> Self {
+        let alloc = GpuAlloc::from_gpus(gpus);
+        FreeVector {
+            counts: alloc.per_machine(spec),
+        }
+    }
+
+    /// Total number of free GPUs in the offer.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// `true` if the offer contains no GPUs.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Free GPUs on one machine (0 if the machine is not in the offer).
+    pub fn on_machine(&self, machine: MachineId) -> usize {
+        self.counts.get(&machine).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(machine, free GPU count)` pairs in machine order.
+    pub fn iter(&self) -> impl Iterator<Item = (MachineId, usize)> + '_ {
+        self.counts.iter().map(|(m, c)| (*m, *c))
+    }
+
+    /// Machines that have at least one free GPU.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Sets the count for a machine (removing it when zero).
+    pub fn set(&mut self, machine: MachineId, count: usize) {
+        if count == 0 {
+            self.counts.remove(&machine);
+        } else {
+            self.counts.insert(machine, count);
+        }
+    }
+
+    /// Subtracts another free vector (saturating at zero per machine).
+    /// Used to remove already-won resources from a running offer.
+    pub fn saturating_sub(&self, other: &FreeVector) -> FreeVector {
+        let mut out = self.clone();
+        for (machine, count) in other.iter() {
+            let remaining = out.on_machine(machine).saturating_sub(count);
+            out.set(machine, remaining);
+        }
+        out
+    }
+
+    /// Adds another free vector.
+    pub fn add(&self, other: &FreeVector) -> FreeVector {
+        let mut out = self.clone();
+        for (machine, count) in other.iter() {
+            let new = out.on_machine(machine) + count;
+            out.set(machine, new);
+        }
+        out
+    }
+
+    /// `true` if `other` fits inside this offer (per machine).
+    pub fn contains_vector(&self, other: &FreeVector) -> bool {
+        other
+            .iter()
+            .all(|(machine, count)| self.on_machine(machine) >= count)
+    }
+
+    /// Scales every machine count by `factor`, rounding down.
+    /// Used by the partial-allocation mechanism's hidden payment (§5.1).
+    pub fn scale_floor(&self, factor: f64) -> FreeVector {
+        assert!((0.0..=1.0).contains(&factor), "scale factor must be in [0,1]");
+        FreeVector::from_counts(
+            self.iter()
+                .map(|(m, c)| (m, ((c as f64) * factor).floor() as usize)),
+        )
+    }
+}
+
+impl FromIterator<(MachineId, usize)> for FreeVector {
+    fn from_iter<T: IntoIterator<Item = (MachineId, usize)>>(iter: T) -> Self {
+        FreeVector::from_counts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        // 2 machines with 4 GPUs, 1 machine with 2 GPUs.
+        ClusterSpec::builder()
+            .rack(|r| r.machines(2, 4))
+            .rack(|r| r.machines(1, 2))
+            .build()
+    }
+
+    #[test]
+    fn gpu_alloc_set_operations() {
+        let a = GpuAlloc::from_gpus([GpuId(0), GpuId(1), GpuId(2)]);
+        let b = GpuAlloc::from_gpus([GpuId(2), GpuId(3)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn gpu_alloc_per_machine() {
+        let spec = spec();
+        let alloc = GpuAlloc::from_gpus([GpuId(0), GpuId(1), GpuId(4), GpuId(8)]);
+        let per = alloc.per_machine(&spec);
+        assert_eq!(per.get(&MachineId(0)), Some(&2));
+        assert_eq!(per.get(&MachineId(1)), Some(&1));
+        assert_eq!(per.get(&MachineId(2)), Some(&1));
+        assert_eq!(alloc.machines(&spec).len(), 3);
+    }
+
+    #[test]
+    fn gpu_alloc_insert_remove() {
+        let mut alloc = GpuAlloc::empty();
+        assert!(alloc.insert(GpuId(5)));
+        assert!(!alloc.insert(GpuId(5)));
+        assert!(alloc.contains(GpuId(5)));
+        assert!(alloc.remove(GpuId(5)));
+        assert!(!alloc.remove(GpuId(5)));
+        assert!(alloc.is_empty());
+    }
+
+    #[test]
+    fn free_vector_totals_and_lookup() {
+        let fv = FreeVector::from_counts([(MachineId(0), 3), (MachineId(2), 1), (MachineId(5), 0)]);
+        assert_eq!(fv.total(), 4);
+        assert_eq!(fv.on_machine(MachineId(0)), 3);
+        assert_eq!(fv.on_machine(MachineId(5)), 0);
+        assert_eq!(fv.machines().count(), 2);
+    }
+
+    #[test]
+    fn free_vector_from_gpus() {
+        let spec = spec();
+        let fv = FreeVector::from_gpus([GpuId(0), GpuId(1), GpuId(9)], &spec);
+        assert_eq!(fv.on_machine(MachineId(0)), 2);
+        assert_eq!(fv.on_machine(MachineId(2)), 1);
+    }
+
+    #[test]
+    fn free_vector_arithmetic() {
+        let a = FreeVector::from_counts([(MachineId(0), 3), (MachineId(1), 2)]);
+        let b = FreeVector::from_counts([(MachineId(0), 1), (MachineId(1), 5)]);
+        let diff = a.saturating_sub(&b);
+        assert_eq!(diff.on_machine(MachineId(0)), 2);
+        assert_eq!(diff.on_machine(MachineId(1)), 0);
+        let sum = a.add(&b);
+        assert_eq!(sum.on_machine(MachineId(1)), 7);
+        assert!(a.contains_vector(&FreeVector::from_counts([(MachineId(0), 3)])));
+        assert!(!a.contains_vector(&b));
+    }
+
+    #[test]
+    fn free_vector_scale_floor() {
+        let a = FreeVector::from_counts([(MachineId(0), 4), (MachineId(1), 3)]);
+        let half = a.scale_floor(0.5);
+        assert_eq!(half.on_machine(MachineId(0)), 2);
+        assert_eq!(half.on_machine(MachineId(1)), 1);
+        assert_eq!(a.scale_floor(1.0), a);
+        assert!(a.scale_floor(0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scale_floor_rejects_out_of_range() {
+        let a = FreeVector::from_counts([(MachineId(0), 4)]);
+        let _ = a.scale_floor(1.5);
+    }
+}

@@ -1,0 +1,416 @@
+//! Mutable cluster state: which GPU is held by which job under which lease.
+
+use crate::alloc::{FreeVector, GpuAlloc};
+use crate::error::ClusterError;
+use crate::ids::{AppId, GpuId, JobId, MachineId};
+use crate::lease::{Lease, LeaseTable};
+use crate::placement::{spread, Locality, PlacementScorer};
+use crate::time::Time;
+use crate::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The owner of an allocated GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// App holding the GPU.
+    pub app: AppId,
+    /// Job (within the app) the GPU is assigned to.
+    pub job: JobId,
+}
+
+/// Mutable cluster state built on top of an immutable [`ClusterSpec`].
+///
+/// Tracks per-GPU assignment and leases, and answers the queries the
+/// schedulers need: the free-resource vector, an app's current allocation,
+/// and placement scores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    assignments: BTreeMap<GpuId, Assignment>,
+    leases: LeaseTable,
+    scorer: PlacementScorer,
+}
+
+impl Cluster {
+    /// Creates a fully-idle cluster from a specification.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Cluster {
+            spec,
+            assignments: BTreeMap::new(),
+            leases: LeaseTable::new(),
+            scorer: PlacementScorer::default(),
+        }
+    }
+
+    /// Creates a cluster with a custom placement scorer.
+    pub fn with_scorer(spec: ClusterSpec, scorer: PlacementScorer) -> Self {
+        Cluster {
+            spec,
+            assignments: BTreeMap::new(),
+            leases: LeaseTable::new(),
+            scorer,
+        }
+    }
+
+    /// The immutable topology.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The placement scorer used for this cluster.
+    pub fn scorer(&self) -> &PlacementScorer {
+        &self.scorer
+    }
+
+    /// The lease table.
+    pub fn leases(&self) -> &LeaseTable {
+        &self.leases
+    }
+
+    /// Total number of GPUs in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.spec.total_gpus()
+    }
+
+    /// Number of GPUs currently allocated.
+    pub fn allocated_gpus(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Fraction of GPUs currently allocated, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_gpus() == 0 {
+            0.0
+        } else {
+            self.allocated_gpus() as f64 / self.total_gpus() as f64
+        }
+    }
+
+    /// The assignment holding a GPU, if it is allocated.
+    pub fn assignment(&self, gpu: GpuId) -> Option<Assignment> {
+        self.assignments.get(&gpu).copied()
+    }
+
+    /// All currently free GPUs, in id order.
+    pub fn free_gpus(&self) -> Vec<GpuId> {
+        self.spec
+            .all_gpus()
+            .filter(|g| !self.assignments.contains_key(g))
+            .collect()
+    }
+
+    /// Free GPUs on a specific machine, in id order.
+    pub fn free_gpus_on(&self, machine: MachineId) -> Vec<GpuId> {
+        match self.spec.machine(machine) {
+            Some(m) => m
+                .gpus
+                .iter()
+                .copied()
+                .filter(|g| !self.assignments.contains_key(g))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The per-machine free-GPU vector (the auction offer `R`).
+    pub fn free_vector(&self) -> FreeVector {
+        FreeVector::from_gpus(self.free_gpus(), &self.spec)
+    }
+
+    /// All GPUs currently held by an app.
+    pub fn gpus_of_app(&self, app: AppId) -> GpuAlloc {
+        GpuAlloc::from_gpus(
+            self.assignments
+                .iter()
+                .filter(|(_, a)| a.app == app)
+                .map(|(g, _)| *g),
+        )
+    }
+
+    /// All GPUs currently held by an app, grouped by job. One pass over the
+    /// assignment table — prefer this over calling [`Cluster::gpus_of_job`]
+    /// in a loop.
+    pub fn jobs_of_app(&self, app: AppId) -> BTreeMap<JobId, GpuAlloc> {
+        let mut by_job: BTreeMap<JobId, GpuAlloc> = BTreeMap::new();
+        for (gpu, assignment) in &self.assignments {
+            if assignment.app == app {
+                by_job.entry(assignment.job).or_default().insert(*gpu);
+            }
+        }
+        by_job
+    }
+
+    /// All GPUs currently held by a specific job.
+    pub fn gpus_of_job(&self, app: AppId, job: JobId) -> GpuAlloc {
+        GpuAlloc::from_gpus(
+            self.assignments
+                .iter()
+                .filter(|(_, a)| a.app == app && a.job == job)
+                .map(|(g, _)| *g),
+        )
+    }
+
+    /// Apps that currently hold at least one GPU, with their GPU counts.
+    pub fn apps_with_gpus(&self) -> BTreeMap<AppId, usize> {
+        let mut counts = BTreeMap::new();
+        for a in self.assignments.values() {
+            *counts.entry(a.app).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Allocates a single GPU to `(app, job)` under a lease expiring at
+    /// `expires_at`.
+    pub fn allocate(
+        &mut self,
+        gpu: GpuId,
+        app: AppId,
+        job: JobId,
+        now: Time,
+        expires_at: Time,
+    ) -> Result<(), ClusterError> {
+        if self.spec.machine_of(gpu).is_none() {
+            return Err(ClusterError::UnknownGpu { gpu });
+        }
+        if let Some(existing) = self.assignments.get(&gpu) {
+            return Err(ClusterError::GpuBusy {
+                gpu,
+                held_by: existing.app,
+            });
+        }
+        self.assignments.insert(gpu, Assignment { app, job });
+        self.leases.grant(Lease {
+            gpu,
+            app,
+            job,
+            granted_at: now,
+            expires_at,
+        });
+        Ok(())
+    }
+
+    /// Allocates `count` free GPUs on a specific machine to `(app, job)`.
+    /// GPUs are chosen in id order (slot-contiguous), which packs them as
+    /// tightly as the machine allows.
+    pub fn allocate_on_machine(
+        &mut self,
+        machine: MachineId,
+        count: usize,
+        app: AppId,
+        job: JobId,
+        now: Time,
+        expires_at: Time,
+    ) -> Result<Vec<GpuId>, ClusterError> {
+        if self.spec.machine(machine).is_none() {
+            return Err(ClusterError::UnknownMachine { machine });
+        }
+        let free = self.free_gpus_on(machine);
+        if free.len() < count {
+            return Err(ClusterError::InsufficientCapacity {
+                machine,
+                requested: count,
+                available: free.len(),
+            });
+        }
+        let chosen: Vec<GpuId> = free.into_iter().take(count).collect();
+        for gpu in &chosen {
+            self.allocate(*gpu, app, job, now, expires_at)?;
+        }
+        Ok(chosen)
+    }
+
+    /// Releases a GPU (revoking its lease). Errors if the GPU is not
+    /// allocated.
+    pub fn release(&mut self, gpu: GpuId) -> Result<Assignment, ClusterError> {
+        match self.assignments.remove(&gpu) {
+            Some(assignment) => {
+                self.leases.revoke(gpu);
+                Ok(assignment)
+            }
+            None => Err(ClusterError::GpuNotAllocated { gpu }),
+        }
+    }
+
+    /// Releases every GPU held by an app, returning the freed GPUs.
+    pub fn release_app(&mut self, app: AppId) -> Vec<GpuId> {
+        let gpus: Vec<GpuId> = self.gpus_of_app(app).into_iter().collect();
+        for gpu in &gpus {
+            let _ = self.release(*gpu);
+        }
+        gpus
+    }
+
+    /// Releases every GPU held by a specific job, returning the freed GPUs.
+    pub fn release_job(&mut self, app: AppId, job: JobId) -> Vec<GpuId> {
+        let gpus: Vec<GpuId> = self.gpus_of_job(app, job).into_iter().collect();
+        for gpu in &gpus {
+            let _ = self.release(*gpu);
+        }
+        gpus
+    }
+
+    /// Reclaims all leases that have expired at or before `now`, releasing
+    /// the corresponding GPUs. Returns the reclaimed leases.
+    pub fn reclaim_expired_leases(&mut self, now: Time) -> Vec<Lease> {
+        let expired = self.leases.reclaim_expired(now);
+        for lease in &expired {
+            self.assignments.remove(&lease.gpu);
+        }
+        expired
+    }
+
+    /// Extends the lease of every GPU held by an app to `new_expiry`.
+    /// Returns the number of leases extended.
+    pub fn extend_app_leases(&mut self, app: AppId, new_expiry: Time) -> usize {
+        let gpus: Vec<GpuId> = self.gpus_of_app(app).into_iter().collect();
+        gpus.into_iter()
+            .filter(|g| self.leases.extend(*g, new_expiry))
+            .count()
+    }
+
+    /// The earliest lease expiry across the cluster, if any GPU is leased.
+    pub fn next_lease_expiry(&self) -> Option<Time> {
+        self.leases.next_expiry()
+    }
+
+    /// The placement locality of a job's current allocation.
+    pub fn job_locality(&self, app: AppId, job: JobId) -> Locality {
+        spread(&self.gpus_of_job(app, job), &self.spec)
+    }
+
+    /// The placement score of a job's current allocation (1.0 = tightly
+    /// packed).
+    pub fn job_placement_score(&self, app: AppId, job: JobId) -> f64 {
+        self.scorer.score(&self.gpus_of_job(app, job), &self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::builder().rack(|r| r.machines(2, 4)).build())
+    }
+
+    #[test]
+    fn fresh_cluster_is_idle() {
+        let c = cluster();
+        assert_eq!(c.total_gpus(), 8);
+        assert_eq!(c.allocated_gpus(), 0);
+        assert_eq!(c.utilization(), 0.0);
+        assert_eq!(c.free_vector().total(), 8);
+    }
+
+    #[test]
+    fn allocate_and_release() {
+        let mut c = cluster();
+        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        assert_eq!(c.allocated_gpus(), 1);
+        assert_eq!(c.assignment(GpuId(0)).unwrap().app, AppId(1));
+        assert_eq!(c.free_vector().on_machine(MachineId(0)), 3);
+
+        // Double allocation fails.
+        let err = c
+            .allocate(GpuId(0), AppId(2), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::GpuBusy { .. }));
+
+        let assignment = c.release(GpuId(0)).unwrap();
+        assert_eq!(assignment.app, AppId(1));
+        assert!(c.release(GpuId(0)).is_err());
+    }
+
+    #[test]
+    fn allocate_unknown_gpu_fails() {
+        let mut c = cluster();
+        let err = c
+            .allocate(GpuId(99), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::UnknownGpu { .. }));
+    }
+
+    #[test]
+    fn allocate_on_machine_packs_in_order() {
+        let mut c = cluster();
+        let gpus = c
+            .allocate_on_machine(MachineId(1), 3, AppId(7), JobId(2), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        assert_eq!(gpus, vec![GpuId(4), GpuId(5), GpuId(6)]);
+        assert_eq!(c.gpus_of_job(AppId(7), JobId(2)).len(), 3);
+        // Requesting more than available fails.
+        let err = c
+            .allocate_on_machine(MachineId(1), 2, AppId(7), JobId(2), Time::ZERO, Time::minutes(20.0))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { available: 1, .. }));
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_gpus() {
+        let mut c = cluster();
+        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        c.allocate(GpuId(1), AppId(1), JobId(0), Time::ZERO, Time::minutes(40.0))
+            .unwrap();
+        assert_eq!(c.next_lease_expiry(), Some(Time::minutes(20.0)));
+        let reclaimed = c.reclaim_expired_leases(Time::minutes(25.0));
+        assert_eq!(reclaimed.len(), 1);
+        assert_eq!(reclaimed[0].gpu, GpuId(0));
+        assert_eq!(c.allocated_gpus(), 1);
+    }
+
+    #[test]
+    fn release_app_and_job() {
+        let mut c = cluster();
+        for (gpu, job) in [(0u32, 0u32), (1, 0), (2, 1)] {
+            c.allocate(GpuId(gpu), AppId(1), JobId(job), Time::ZERO, Time::minutes(20.0))
+                .unwrap();
+        }
+        c.allocate(GpuId(3), AppId(2), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        assert_eq!(c.gpus_of_app(AppId(1)).len(), 3);
+        let freed = c.release_job(AppId(1), JobId(0));
+        assert_eq!(freed.len(), 2);
+        let freed = c.release_app(AppId(1));
+        assert_eq!(freed.len(), 1);
+        assert_eq!(c.gpus_of_app(AppId(2)).len(), 1);
+    }
+
+    #[test]
+    fn extend_app_leases() {
+        let mut c = cluster();
+        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        c.allocate(GpuId(1), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        assert_eq!(c.extend_app_leases(AppId(1), Time::minutes(60.0)), 2);
+        assert_eq!(c.next_lease_expiry(), Some(Time::minutes(60.0)));
+    }
+
+    #[test]
+    fn placement_queries() {
+        let mut c = cluster();
+        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        c.allocate(GpuId(4), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        assert_eq!(c.job_locality(AppId(1), JobId(0)), Locality::Rack);
+        assert!(c.job_placement_score(AppId(1), JobId(0)) < 1.0);
+    }
+
+    #[test]
+    fn apps_with_gpus_counts() {
+        let mut c = cluster();
+        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        c.allocate(GpuId(1), AppId(2), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        c.allocate(GpuId(2), AppId(2), JobId(1), Time::ZERO, Time::minutes(20.0))
+            .unwrap();
+        let counts = c.apps_with_gpus();
+        assert_eq!(counts[&AppId(1)], 1);
+        assert_eq!(counts[&AppId(2)], 2);
+    }
+}

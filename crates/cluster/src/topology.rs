@@ -1,0 +1,372 @@
+//! Static cluster topology: racks, machines, GPUs and NVLink slots.
+//!
+//! The topology is immutable once built. Mutable allocation state lives in
+//! [`crate::cluster::Cluster`], which wraps a [`ClusterSpec`].
+//!
+//! The paper evaluates Themis on two clusters:
+//!
+//! * a simulated, heterogeneously constructed **256-GPU** cluster with a
+//!   mixture of 4-GPU, 2-GPU and 1-GPU machines spread across multiple
+//!   racks ([`ClusterSpec::heterogeneous_256`]), and
+//! * a **50-GPU** Azure testbed of NC/NV instances with 1/2/4 GPUs each
+//!   ([`ClusterSpec::testbed_50`]).
+
+use crate::ids::{GpuId, MachineId, RackId};
+use serde::{Deserialize, Serialize};
+
+/// The hardware model of a GPU. Only used for reporting and for modelling
+/// heterogeneous clusters; the scheduler treats all GPUs of a machine as
+/// interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA Tesla K80 (used in the paper's NC-series testbed instances).
+    TeslaK80,
+    /// NVIDIA Tesla M60 (used in the paper's NV-series testbed instances).
+    TeslaM60,
+    /// NVIDIA Tesla P100 (used in the paper's Figure 2 profiling).
+    TeslaP100,
+    /// NVIDIA Tesla V100.
+    TeslaV100,
+    /// A generic GPU when the model does not matter.
+    Generic,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel::Generic
+    }
+}
+
+/// Description of a single machine: how many GPUs it has, how they are
+/// grouped into NVLink slots, and which rack it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Machine identifier (dense, assigned by the builder).
+    pub id: MachineId,
+    /// Rack this machine lives in.
+    pub rack: RackId,
+    /// Global ids of the GPUs on this machine, in slot order.
+    pub gpus: Vec<GpuId>,
+    /// Number of GPUs per NVLink slot. GPUs within a slot communicate over
+    /// NVLink; GPUs in different slots of the same machine communicate over
+    /// PCIe. A `slot_size` >= `gpus.len()` means the whole machine is one
+    /// slot.
+    pub slot_size: usize,
+    /// The GPU hardware model installed in this machine.
+    pub gpu_model: GpuModel,
+}
+
+impl MachineSpec {
+    /// Number of GPUs on this machine.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The slot index (within this machine) of a GPU, or `None` if the GPU
+    /// is not on this machine.
+    pub fn slot_of(&self, gpu: GpuId) -> Option<usize> {
+        self.gpus
+            .iter()
+            .position(|g| *g == gpu)
+            .map(|idx| idx / self.slot_size.max(1))
+    }
+}
+
+/// Description of a rack: a set of machines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Rack identifier.
+    pub id: RackId,
+    /// Machines in this rack.
+    pub machines: Vec<MachineId>,
+}
+
+/// Immutable description of an entire cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    machines: Vec<MachineSpec>,
+    racks: Vec<RackSpec>,
+    /// gpu index -> machine index (dense lookup).
+    gpu_to_machine: Vec<MachineId>,
+}
+
+impl ClusterSpec {
+    /// Starts building a cluster specification.
+    pub fn builder() -> ClusterSpecBuilder {
+        ClusterSpecBuilder::default()
+    }
+
+    /// All machines in the cluster, ordered by id.
+    pub fn machines(&self) -> &[MachineSpec] {
+        &self.machines
+    }
+
+    /// All racks in the cluster, ordered by id.
+    pub fn racks(&self) -> &[RackSpec] {
+        &self.racks
+    }
+
+    /// Looks up a machine by id.
+    pub fn machine(&self, id: MachineId) -> Option<&MachineSpec> {
+        self.machines.get(id.index())
+    }
+
+    /// Total number of GPUs in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.gpu_to_machine.len()
+    }
+
+    /// Total number of machines in the cluster.
+    pub fn total_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total number of racks in the cluster.
+    pub fn total_racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// The machine a GPU belongs to, or `None` for an unknown GPU.
+    pub fn machine_of(&self, gpu: GpuId) -> Option<MachineId> {
+        self.gpu_to_machine.get(gpu.index()).copied()
+    }
+
+    /// The rack a GPU belongs to, or `None` for an unknown GPU.
+    pub fn rack_of(&self, gpu: GpuId) -> Option<RackId> {
+        self.machine_of(gpu)
+            .and_then(|m| self.machine(m))
+            .map(|m| m.rack)
+    }
+
+    /// Iterates over every GPU id in the cluster.
+    pub fn all_gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        (0..self.total_gpus() as u32).map(GpuId)
+    }
+
+    /// The paper's simulated cluster: a heterogeneously constructed 256-GPU
+    /// cluster with a mixture of 4-GPU, 2-GPU and 1-GPU machines spread
+    /// across multiple racks (§8.1).
+    ///
+    /// Layout: 4 racks, each with 12 × 4-GPU machines, 6 × 2-GPU machines
+    /// and 4 × 1-GPU machines = 64 GPUs per rack, 256 GPUs total.
+    pub fn heterogeneous_256() -> ClusterSpec {
+        let mut b = ClusterSpec::builder();
+        for _ in 0..4 {
+            b = b.rack(|r| {
+                r.machines_with(12, 4, 2, GpuModel::TeslaP100)
+                    .machines_with(6, 2, 2, GpuModel::TeslaP100)
+                    .machines_with(4, 1, 1, GpuModel::TeslaP100)
+            });
+        }
+        b.build()
+    }
+
+    /// The paper's testbed: 50 GPUs spread across 20 Azure NC/NV instances
+    /// with 1, 2 or 4 GPUs each (§8.1).
+    ///
+    /// Layout: 2 racks; 10 machines per rack; per rack: 4 × 4-GPU (K80),
+    /// 3 × 2-GPU (M60), 3 × 1-GPU (M60) = 25 GPUs per rack, 50 total across
+    /// 20 instances.
+    pub fn testbed_50() -> ClusterSpec {
+        let mut b = ClusterSpec::builder();
+        for _ in 0..2 {
+            b = b.rack(|r| {
+                r.machines_with(4, 4, 2, GpuModel::TeslaK80)
+                    .machines_with(3, 2, 2, GpuModel::TeslaM60)
+                    .machines_with(3, 1, 1, GpuModel::TeslaM60)
+            });
+        }
+        b.build()
+    }
+
+    /// A homogeneous cluster: `racks` racks of `machines_per_rack` machines
+    /// with `gpus_per_machine` GPUs each. Useful for unit tests and
+    /// micro-benchmarks.
+    pub fn homogeneous(racks: usize, machines_per_rack: usize, gpus_per_machine: usize) -> ClusterSpec {
+        let mut b = ClusterSpec::builder();
+        for _ in 0..racks {
+            b = b.rack(|r| r.machines(machines_per_rack, gpus_per_machine));
+        }
+        b.build()
+    }
+}
+
+/// Builder for [`ClusterSpec`].
+#[derive(Debug, Default)]
+pub struct ClusterSpecBuilder {
+    racks: Vec<RackBuilder>,
+}
+
+impl ClusterSpecBuilder {
+    /// Adds a rack described by the closure.
+    pub fn rack(mut self, f: impl FnOnce(RackBuilder) -> RackBuilder) -> Self {
+        self.racks.push(f(RackBuilder::default()));
+        self
+    }
+
+    /// Finalizes the specification, assigning dense machine / GPU ids in
+    /// declaration order.
+    pub fn build(self) -> ClusterSpec {
+        let mut machines = Vec::new();
+        let mut racks = Vec::new();
+        let mut gpu_to_machine = Vec::new();
+        let mut next_gpu = 0u32;
+        let mut next_machine = 0u32;
+
+        for (rack_idx, rack) in self.racks.into_iter().enumerate() {
+            let rack_id = RackId(rack_idx as u32);
+            let mut rack_machines = Vec::new();
+            for group in rack.groups {
+                for _ in 0..group.count {
+                    let machine_id = MachineId(next_machine);
+                    next_machine += 1;
+                    let gpus: Vec<GpuId> = (0..group.gpus_per_machine)
+                        .map(|_| {
+                            let id = GpuId(next_gpu);
+                            next_gpu += 1;
+                            id
+                        })
+                        .collect();
+                    gpu_to_machine.extend(std::iter::repeat(machine_id).take(gpus.len()));
+                    machines.push(MachineSpec {
+                        id: machine_id,
+                        rack: rack_id,
+                        gpus,
+                        slot_size: group.slot_size,
+                        gpu_model: group.gpu_model,
+                    });
+                    rack_machines.push(machine_id);
+                }
+            }
+            racks.push(RackSpec {
+                id: rack_id,
+                machines: rack_machines,
+            });
+        }
+
+        ClusterSpec {
+            machines,
+            racks,
+            gpu_to_machine,
+        }
+    }
+}
+
+/// Builder for a single rack within a [`ClusterSpecBuilder`].
+#[derive(Debug, Default)]
+pub struct RackBuilder {
+    groups: Vec<MachineGroup>,
+}
+
+#[derive(Debug)]
+struct MachineGroup {
+    count: usize,
+    gpus_per_machine: usize,
+    slot_size: usize,
+    gpu_model: GpuModel,
+}
+
+impl RackBuilder {
+    /// Adds `count` machines with `gpus_per_machine` GPUs each (one NVLink
+    /// slot per pair of GPUs, generic GPU model).
+    pub fn machines(self, count: usize, gpus_per_machine: usize) -> Self {
+        self.machines_with(count, gpus_per_machine, 2, GpuModel::Generic)
+    }
+
+    /// Adds `count` machines with full control over slot size and GPU model.
+    pub fn machines_with(
+        mut self,
+        count: usize,
+        gpus_per_machine: usize,
+        slot_size: usize,
+        gpu_model: GpuModel,
+    ) -> Self {
+        assert!(gpus_per_machine > 0, "machines must have at least one GPU");
+        assert!(slot_size > 0, "slot size must be at least one GPU");
+        self.groups.push(MachineGroup {
+            count,
+            gpus_per_machine,
+            slot_size,
+            gpu_model,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let spec = ClusterSpec::builder()
+            .rack(|r| r.machines(2, 4))
+            .rack(|r| r.machines(1, 2))
+            .build();
+        assert_eq!(spec.total_machines(), 3);
+        assert_eq!(spec.total_gpus(), 10);
+        assert_eq!(spec.total_racks(), 2);
+        assert_eq!(spec.machine_of(GpuId(0)), Some(MachineId(0)));
+        assert_eq!(spec.machine_of(GpuId(7)), Some(MachineId(1)));
+        assert_eq!(spec.machine_of(GpuId(8)), Some(MachineId(2)));
+        assert_eq!(spec.machine_of(GpuId(10)), None);
+        assert_eq!(spec.rack_of(GpuId(9)), Some(RackId(1)));
+    }
+
+    #[test]
+    fn heterogeneous_256_has_256_gpus() {
+        let spec = ClusterSpec::heterogeneous_256();
+        assert_eq!(spec.total_gpus(), 256);
+        assert_eq!(spec.total_racks(), 4);
+        // Mixture of machine sizes.
+        let sizes: std::collections::BTreeSet<usize> =
+            spec.machines().iter().map(|m| m.num_gpus()).collect();
+        assert_eq!(sizes, [1usize, 2, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn testbed_50_matches_paper() {
+        let spec = ClusterSpec::testbed_50();
+        assert_eq!(spec.total_gpus(), 50);
+        assert_eq!(spec.total_machines(), 20);
+        let k80s = spec
+            .machines()
+            .iter()
+            .filter(|m| m.gpu_model == GpuModel::TeslaK80)
+            .count();
+        assert_eq!(k80s, 8);
+    }
+
+    #[test]
+    fn slot_of_groups_gpus() {
+        let spec = ClusterSpec::builder()
+            .rack(|r| r.machines_with(1, 4, 2, GpuModel::Generic))
+            .build();
+        let m = spec.machine(MachineId(0)).unwrap();
+        assert_eq!(m.slot_of(GpuId(0)), Some(0));
+        assert_eq!(m.slot_of(GpuId(1)), Some(0));
+        assert_eq!(m.slot_of(GpuId(2)), Some(1));
+        assert_eq!(m.slot_of(GpuId(3)), Some(1));
+        assert_eq!(m.slot_of(GpuId(4)), None);
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let spec = ClusterSpec::homogeneous(2, 3, 4);
+        assert_eq!(spec.total_gpus(), 24);
+        assert!(spec.machines().iter().all(|m| m.num_gpus() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpu_machines_rejected() {
+        let _ = ClusterSpec::builder().rack(|r| r.machines(1, 0)).build();
+    }
+
+    #[test]
+    fn all_gpus_iterates_everything() {
+        let spec = ClusterSpec::homogeneous(1, 2, 2);
+        let gpus: Vec<GpuId> = spec.all_gpus().collect();
+        assert_eq!(gpus, vec![GpuId(0), GpuId(1), GpuId(2), GpuId(3)]);
+    }
+}

@@ -1,0 +1,389 @@
+//! The central Arbiter.
+//!
+//! The Arbiter is the bottom level of Themis's two-level architecture
+//! (§3.1): it pools reclaimed GPUs, probes every app's Agent for its
+//! finish-time fairness, offers the pooled GPUs to the `1 − f` fraction of
+//! apps that are farthest from fair, runs the partial-allocation auction
+//! over their bids, and finally hands out any leftover GPUs (the hidden
+//! payments and unwanted capacity) to apps outside the auction in a
+//! placement-sensitive, work-conserving way (§5.1 "Leftover Allocation").
+
+use crate::auction::{partial_allocation, AuctionResult};
+use crate::config::ThemisConfig;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use themis_cluster::alloc::FreeVector;
+use themis_cluster::ids::{AppId, MachineId};
+use themis_cluster::time::Time;
+use themis_protocol::bid::BidTable;
+use themis_protocol::messages::OfferMsg;
+
+/// A snapshot of one app's scheduling status, as seen by the Arbiter before
+/// an auction round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppStatus {
+    /// The app.
+    pub app: AppId,
+    /// The app's current finish-time fairness (∞ when it has no GPUs and no
+    /// prospects).
+    pub rho: f64,
+    /// GPUs the app could still use productively.
+    pub unmet_demand: usize,
+    /// Machines on which the app currently holds GPUs (used to place
+    /// leftover GPUs next to existing allocations).
+    pub footprint: BTreeSet<MachineId>,
+}
+
+/// The outcome of one auction round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionOutcome {
+    /// Monotonically increasing round number.
+    pub round: u64,
+    /// Apps that were offered the resources (the worst-off `1 − f`).
+    pub participants: Vec<AppId>,
+    /// Final auction awards per app (after hidden payments).
+    pub winners: BTreeMap<AppId, FreeVector>,
+    /// Work-conserving grants of leftover GPUs to apps outside the auction.
+    pub leftover_grants: BTreeMap<AppId, FreeVector>,
+    /// The raw partial-allocation result (for inspection / overhead
+    /// benchmarks).
+    pub auction: AuctionResult,
+}
+
+impl AuctionOutcome {
+    /// Every grant made this round: auction awards plus leftover grants,
+    /// merged per app.
+    pub fn all_grants(&self) -> BTreeMap<AppId, FreeVector> {
+        let mut grants = self.winners.clone();
+        for (app, extra) in &self.leftover_grants {
+            let merged = grants
+                .get(app)
+                .map(|g| g.add(extra))
+                .unwrap_or_else(|| extra.clone());
+            grants.insert(*app, merged);
+        }
+        grants
+    }
+
+    /// Total GPUs granted this round.
+    pub fn total_granted(&self) -> usize {
+        self.all_grants().values().map(|g| g.total()).sum()
+    }
+}
+
+/// The central Arbiter.
+#[derive(Debug)]
+pub struct Arbiter {
+    config: ThemisConfig,
+    round: u64,
+    rng: SmallRng,
+}
+
+impl Arbiter {
+    /// Creates an Arbiter with the given configuration.
+    pub fn new(config: ThemisConfig) -> Self {
+        Arbiter {
+            round: 0,
+            rng: SmallRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            config,
+        }
+    }
+
+    /// The number of auction rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ThemisConfig {
+        &self.config
+    }
+
+    /// Builds the offer message for the current round.
+    pub fn make_offer(&self, now: Time, resources: FreeVector) -> OfferMsg {
+        OfferMsg {
+            round: self.round,
+            now,
+            resources,
+            reply_by: now + Time::seconds(30.0),
+        }
+    }
+
+    /// Selects the auction participants: the `1 − f` fraction of apps with
+    /// the worst (highest) ρ among those that can actually use more GPUs.
+    /// At least one app participates whenever any app has unmet demand.
+    pub fn select_participants(&self, statuses: &[AppStatus]) -> Vec<AppId> {
+        let mut candidates: Vec<&AppStatus> = statuses
+            .iter()
+            .filter(|s| s.unmet_demand > 0)
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        candidates.sort_by(|a, b| {
+            b.rho
+                .partial_cmp(&a.rho)
+                .expect("rho is never NaN")
+                .then(a.app.cmp(&b.app))
+        });
+        let fraction = 1.0 - self.config.fairness_knob;
+        let count = ((candidates.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, candidates.len());
+        candidates.into_iter().take(count).map(|s| s.app).collect()
+    }
+
+    /// Runs one auction round over the provided bids and assigns leftovers.
+    ///
+    /// `statuses` must cover every schedulable app (participants and
+    /// non-participants); `bids` are the tables received from the
+    /// participants' Agents.
+    pub fn run_auction(
+        &mut self,
+        offer: &FreeVector,
+        statuses: &[AppStatus],
+        participants: &[AppId],
+        bids: &[BidTable],
+    ) -> AuctionOutcome {
+        self.round += 1;
+        let auction = partial_allocation(bids, offer);
+        let mut winners: BTreeMap<AppId, FreeVector> = BTreeMap::new();
+        for award in &auction.awards {
+            if !award.awarded.is_empty() {
+                winners.insert(award.app, award.awarded.clone());
+            }
+        }
+
+        // Leftover allocation (§5.1 step 3): one GPU at a time, to apps that
+        // did not participate in the auction, preferring apps that already
+        // have an allocation on the GPU's machine; ties broken at random.
+        // If no outside app can take a GPU, fall back to participants with
+        // remaining unmet demand so the allocation stays work-conserving.
+        let participant_set: BTreeSet<AppId> = participants.iter().copied().collect();
+        let mut remaining_demand: BTreeMap<AppId, usize> = statuses
+            .iter()
+            .map(|s| {
+                let granted = winners.get(&s.app).map(|w| w.total()).unwrap_or(0);
+                (s.app, s.unmet_demand.saturating_sub(granted))
+            })
+            .collect();
+        let footprints: BTreeMap<AppId, &BTreeSet<MachineId>> =
+            statuses.iter().map(|s| (s.app, &s.footprint)).collect();
+
+        let mut leftover_grants: BTreeMap<AppId, FreeVector> = BTreeMap::new();
+        let mut leftover = auction.leftover.clone();
+        let machines: Vec<MachineId> = leftover.machines().collect();
+        for machine in machines {
+            while leftover.on_machine(machine) > 0 {
+                let pick = self.pick_leftover_recipient(
+                    machine,
+                    &participant_set,
+                    &remaining_demand,
+                    &footprints,
+                    &leftover_grants,
+                );
+                let Some(app) = pick else { break };
+                let grant = leftover_grants.entry(app).or_insert_with(FreeVector::empty);
+                grant.set(machine, grant.on_machine(machine) + 1);
+                leftover.set(machine, leftover.on_machine(machine) - 1);
+                if let Some(d) = remaining_demand.get_mut(&app) {
+                    *d = d.saturating_sub(1);
+                }
+            }
+        }
+
+        AuctionOutcome {
+            round: self.round,
+            participants: participants.to_vec(),
+            winners,
+            leftover_grants,
+            auction,
+        }
+    }
+
+    /// Chooses the recipient of one leftover GPU on `machine`.
+    fn pick_leftover_recipient(
+        &mut self,
+        machine: MachineId,
+        participants: &BTreeSet<AppId>,
+        remaining_demand: &BTreeMap<AppId, usize>,
+        footprints: &BTreeMap<AppId, &BTreeSet<MachineId>>,
+        leftover_grants: &BTreeMap<AppId, FreeVector>,
+    ) -> Option<AppId> {
+        let wants = |app: &AppId| remaining_demand.get(app).copied().unwrap_or(0) > 0;
+        let on_machine = |app: &AppId| {
+            footprints
+                .get(app)
+                .map(|f| f.contains(&machine))
+                .unwrap_or(false)
+                || leftover_grants
+                    .get(app)
+                    .map(|g| g.on_machine(machine) > 0)
+                    .unwrap_or(false)
+        };
+
+        // Candidate tiers, best first.
+        let tiers: [Box<dyn Fn(&AppId) -> bool>; 4] = [
+            Box::new(|a| !participants.contains(a) && wants(a) && on_machine(a)),
+            Box::new(|a| !participants.contains(a) && wants(a)),
+            Box::new(|a| wants(a) && on_machine(a)),
+            Box::new(|a| wants(a)),
+        ];
+        for tier in &tiers {
+            let mut candidates: Vec<AppId> = remaining_demand
+                .keys()
+                .copied()
+                .filter(|a| tier(a))
+                .collect();
+            if !candidates.is_empty() {
+                candidates.sort();
+                return candidates.choose(&mut self.rng).copied();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(app: u32, rho: f64, demand: usize, footprint: &[u32]) -> AppStatus {
+        AppStatus {
+            app: AppId(app),
+            rho,
+            unmet_demand: demand,
+            footprint: footprint.iter().map(|m| MachineId(*m)).collect(),
+        }
+    }
+
+    fn fv(pairs: &[(u32, usize)]) -> FreeVector {
+        FreeVector::from_counts(pairs.iter().map(|(m, c)| (MachineId(*m), *c)))
+    }
+
+    fn scaling_bid(app: u32, current_rho: f64, machine: u32, max_gpus: usize) -> BidTable {
+        let mut table = BidTable::empty(AppId(app), current_rho);
+        for g in 1..=max_gpus {
+            table.push(fv(&[(machine, g)]), current_rho / g as f64);
+        }
+        table
+    }
+
+    #[test]
+    fn participant_selection_takes_worst_one_minus_f() {
+        let arbiter = Arbiter::new(ThemisConfig::default().with_fairness_knob(0.5));
+        let statuses = vec![
+            status(0, 10.0, 4, &[]),
+            status(1, 2.0, 4, &[]),
+            status(2, 8.0, 4, &[]),
+            status(3, f64::INFINITY, 4, &[]),
+        ];
+        let participants = arbiter.select_participants(&statuses);
+        // 1 - f = 0.5 → 2 of 4 apps, the two with the worst rho.
+        assert_eq!(participants, vec![AppId(3), AppId(0)]);
+    }
+
+    #[test]
+    fn apps_without_demand_never_participate() {
+        let arbiter = Arbiter::new(ThemisConfig::default().with_fairness_knob(0.0));
+        let statuses = vec![status(0, 10.0, 0, &[]), status(1, 5.0, 2, &[])];
+        let participants = arbiter.select_participants(&statuses);
+        assert_eq!(participants, vec![AppId(1)]);
+        // And with no demand at all, nobody participates.
+        assert!(arbiter
+            .select_participants(&[status(0, 10.0, 0, &[])])
+            .is_empty());
+    }
+
+    #[test]
+    fn at_least_one_app_participates_even_with_f_one() {
+        let arbiter = Arbiter::new(ThemisConfig::default().with_fairness_knob(1.0));
+        let statuses = vec![status(0, 10.0, 4, &[]), status(1, 20.0, 4, &[])];
+        let participants = arbiter.select_participants(&statuses);
+        assert_eq!(participants, vec![AppId(1)]);
+    }
+
+    #[test]
+    fn auction_awards_and_leftovers_cover_the_offer() {
+        let mut arbiter = Arbiter::new(ThemisConfig::default());
+        let offer = fv(&[(0, 4), (1, 4)]);
+        let statuses = vec![
+            status(0, 50.0, 4, &[]),
+            status(1, 40.0, 4, &[]),
+            status(2, 5.0, 8, &[1]),
+        ];
+        let participants = vec![AppId(0), AppId(1)];
+        let bids = vec![scaling_bid(0, 50.0, 0, 4), scaling_bid(1, 40.0, 1, 4)];
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        assert_eq!(outcome.round, 1);
+        // Both bidders target disjoint machines, so both win fully and no
+        // leftovers remain for app 2.
+        assert_eq!(outcome.winners[&AppId(0)].total(), 4);
+        assert_eq!(outcome.winners[&AppId(1)].total(), 4);
+        assert_eq!(outcome.total_granted(), 8);
+    }
+
+    #[test]
+    fn leftovers_go_to_non_participants_near_their_footprint() {
+        let mut arbiter = Arbiter::new(ThemisConfig::default());
+        let offer = fv(&[(0, 4), (1, 2)]);
+        // Participant 0 only bids on machine 0; machine 1 is leftover.
+        let statuses = vec![
+            status(0, 50.0, 4, &[]),
+            status(1, 2.0, 4, &[1]), // non-participant with footprint on machine 1
+            status(2, 3.0, 4, &[0]), // non-participant with footprint elsewhere
+        ];
+        let participants = vec![AppId(0)];
+        let bids = vec![scaling_bid(0, 50.0, 0, 4)];
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        assert_eq!(outcome.winners[&AppId(0)].total(), 4);
+        // Machine 1's two GPUs go to app 1 (footprint match).
+        let grant = outcome.leftover_grants.get(&AppId(1)).expect("app 1 gets leftovers");
+        assert_eq!(grant.on_machine(MachineId(1)), 2);
+        assert!(outcome.leftover_grants.get(&AppId(2)).is_none());
+    }
+
+    #[test]
+    fn leftovers_fall_back_to_participants_when_no_one_else_wants_them() {
+        let mut arbiter = Arbiter::new(ThemisConfig::default());
+        let offer = fv(&[(0, 2), (1, 2)]);
+        // Only one app in the system; it bids on machine 0 only.
+        let statuses = vec![status(0, 50.0, 8, &[])];
+        let participants = vec![AppId(0)];
+        let bids = vec![scaling_bid(0, 50.0, 0, 2)];
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        // Machine 1's GPUs still end up with app 0 (work conservation).
+        let total = outcome.total_granted();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn grants_never_exceed_offer() {
+        let mut arbiter = Arbiter::new(ThemisConfig::default());
+        let offer = fv(&[(0, 3), (1, 1)]);
+        let statuses = vec![
+            status(0, 50.0, 8, &[]),
+            status(1, 40.0, 8, &[]),
+            status(2, 4.0, 8, &[0]),
+        ];
+        let participants = vec![AppId(0), AppId(1)];
+        let bids = vec![scaling_bid(0, 50.0, 0, 3), scaling_bid(1, 40.0, 0, 3)];
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        let mut total = FreeVector::empty();
+        for grant in outcome.all_grants().values() {
+            total = total.add(grant);
+        }
+        assert!(offer.contains_vector(&total));
+        assert_eq!(outcome.total_granted(), offer.total(), "work conserving");
+    }
+
+    #[test]
+    fn offer_message_carries_round_and_deadline() {
+        let arbiter = Arbiter::new(ThemisConfig::default());
+        let offer = arbiter.make_offer(Time::minutes(10.0), fv(&[(0, 1)]));
+        assert_eq!(offer.round, 0);
+        assert!(offer.reply_by > offer.now);
+        assert_eq!(offer.resources.total(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! The finish-time fairness metric ρ and its estimator.
+//!
+//! ρ = T_sh / T_id: the ratio of the app's (estimated) running time in the
+//! shared cluster to its running time in a dedicated cluster (§3). The
+//! Agent estimates ρ for candidate allocations following the steps of §5.2:
+//!
+//! 1. aggregate the candidate GPUs with the GPUs the app already holds,
+//! 2. distribute the aggregate among the app's jobs greedily and
+//!    placement-sensitively,
+//! 3. `T_sh = min_j (elapsed + W'_j / (G_j · S_j(placement)))` — the `min`
+//!    because the job with the best hyper-parameters determines the app's
+//!    finish time,
+//! 4. `T_id = min_j (W_j / G_ideal_j)` with perfect placement,
+//! 5. ρ = T_sh / T_id.
+
+use std::collections::BTreeMap;
+use themis_cluster::ids::{JobId, MachineId};
+use themis_cluster::placement::Locality;
+use themis_cluster::time::Time;
+use themis_cluster::topology::ClusterSpec;
+use themis_hpo::api::JobEstimate;
+
+/// The result of a ρ estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RhoEstimate {
+    /// The finish-time fairness metric (lower is better; unbounded when the
+    /// app holds no GPUs and would never finish).
+    pub rho: f64,
+    /// Estimated shared running time T_sh (elapsed + remaining).
+    pub t_sh: Time,
+    /// Ideal dedicated-cluster running time T_id.
+    pub t_id: Time,
+}
+
+/// A job-level share of an aggregate allocation: how many GPUs the job gets
+/// on which machines.
+pub type JobShare = Vec<(MachineId, usize)>;
+
+/// Ideal (dedicated-cluster) running time `T_id` from per-job estimates:
+/// every exploration job runs concurrently at its maximum parallelism with
+/// perfect placement, so the app's ideal time is governed by the slowest
+/// job (`max_j W_j / G_ideal_j`). For single-job apps this coincides with
+/// the paper's §5.2 `min` formulation.
+pub fn ideal_running_time(estimates: &[JobEstimate]) -> Time {
+    estimates
+        .iter()
+        .filter(|e| e.max_parallelism > 0)
+        .map(|e| Time::minutes(e.total_work.as_minutes() / e.max_parallelism as f64))
+        .max()
+        .unwrap_or(Time::ZERO)
+}
+
+/// The locality of a job share, approximated from machine placement (the
+/// slot structure of machines is credited when the whole share fits within
+/// one slot of one machine).
+pub fn share_locality(share: &JobShare, spec: &ClusterSpec) -> Locality {
+    let machines: Vec<MachineId> = share
+        .iter()
+        .filter(|(_, c)| *c > 0)
+        .map(|(m, _)| *m)
+        .collect();
+    match machines.len() {
+        0 | 1 => {
+            if let Some(machine) = machines.first().and_then(|m| spec.machine(*m)) {
+                let count: usize = share.iter().map(|(_, c)| *c).sum();
+                if count <= machine.slot_size {
+                    Locality::Slot
+                } else {
+                    Locality::Machine
+                }
+            } else {
+                Locality::Slot
+            }
+        }
+        _ => {
+            let racks: std::collections::BTreeSet<_> = machines
+                .iter()
+                .filter_map(|m| spec.machine(*m).map(|ms| ms.rack))
+                .collect();
+            if racks.len() <= 1 {
+                Locality::Rack
+            } else {
+                Locality::CrossRack
+            }
+        }
+    }
+}
+
+/// Greedily distributes an aggregate per-machine GPU allocation among jobs
+/// in a placement-sensitive manner (§5.2 step 4, "the AGENT computes the
+/// job-level allocation in a greedy manner").
+///
+/// Because the app finishes when its fastest job converges, jobs are
+/// visited in order of *increasing* work left — the job that determines the
+/// app's finish time is packed first. Each job takes as many GPUs as it can
+/// use from the machine with the most remaining GPUs, spilling to further
+/// machines only when necessary.
+pub fn greedy_job_distribution(
+    estimates: &[JobEstimate],
+    aggregate: &BTreeMap<MachineId, usize>,
+    _spec: &ClusterSpec,
+) -> BTreeMap<JobId, JobShare> {
+    let mut remaining: BTreeMap<MachineId, usize> = aggregate
+        .iter()
+        .filter(|(_, c)| **c > 0)
+        .map(|(m, c)| (*m, *c))
+        .collect();
+    let mut order: Vec<&JobEstimate> = estimates.iter().collect();
+    order.sort_by(|a, b| {
+        a.work_left
+            .cmp(&b.work_left)
+            .then(a.job.cmp(&b.job))
+    });
+
+    let mut shares: BTreeMap<JobId, JobShare> = BTreeMap::new();
+    for est in order {
+        let mut need = est.max_parallelism;
+        let mut share: JobShare = Vec::new();
+        while need > 0 {
+            // Machine with the most remaining GPUs (densest placement).
+            let Some((&machine, &avail)) = remaining
+                .iter()
+                .filter(|(_, c)| **c > 0)
+                .max_by_key(|(m, c)| (**c, std::cmp::Reverse(**m)))
+            else {
+                break;
+            };
+            let take = need.min(avail);
+            share.push((machine, take));
+            *remaining.get_mut(&machine).expect("machine present") -= take;
+            need -= take;
+        }
+        if !share.is_empty() {
+            shares.insert(est.job, share);
+        }
+    }
+    shares
+}
+
+/// Estimates ρ for an app given per-job estimates, the elapsed time since
+/// the app arrived, and a job-level allocation (shares of machines).
+///
+/// The shared running time is estimated as
+/// `T_sh = elapsed + Σ_j W'_j / Σ_j (G_j · S_j(placement))`: the app's
+/// aggregate remaining exploration work divided by the aggregate effective
+/// throughput of the candidate allocation. For single-job apps this is
+/// exactly the paper's §5.2 step-4 formula. For hyper-parameter-sweep apps
+/// it models the app time-sharing its GPUs across the surviving jobs until
+/// the exploration has run its course, which is how the simulator (and a
+/// real HyperBand deployment) behaves. The estimate stays homogeneous of
+/// degree one in the allocation — the property the truthfulness proof of
+/// the partial-allocation mechanism relies on (§5.1).
+pub fn estimate_rho(
+    estimates: &[JobEstimate],
+    elapsed: Time,
+    shares: &BTreeMap<JobId, JobShare>,
+    spec: &ClusterSpec,
+) -> RhoEstimate {
+    let t_id = ideal_running_time(estimates);
+    let mut total_work_left = Time::ZERO;
+    let mut aggregate_speedup = 0.0;
+    for est in estimates {
+        if est.work_left <= Time::ZERO {
+            continue;
+        }
+        total_work_left += est.work_left;
+        let share = shares.get(&est.job);
+        let gpus: usize = share.map(|s| s.iter().map(|(_, c)| *c).sum()).unwrap_or(0);
+        if gpus == 0 {
+            continue;
+        }
+        let locality = share_locality(share.expect("gpus > 0 implies share"), spec);
+        let usable = gpus.min(est.max_parallelism.max(1));
+        aggregate_speedup += est.sensitivity.effective_speedup(usable, locality);
+    }
+    let t_sh = if total_work_left <= Time::ZERO {
+        // Everything has converged or been terminated: the app's running
+        // time is the time that has already elapsed.
+        elapsed
+    } else if aggregate_speedup <= 0.0 {
+        Time::INFINITY
+    } else {
+        elapsed + Time::minutes(total_work_left.as_minutes() / aggregate_speedup)
+    };
+    let rho = if t_id > Time::ZERO {
+        t_sh.as_minutes() / t_id.as_minutes()
+    } else {
+        1.0
+    };
+    RhoEstimate { rho, t_sh, t_id }
+}
+
+/// Convenience: estimate ρ for an aggregate per-machine allocation, running
+/// the greedy job distribution first.
+pub fn estimate_rho_for_aggregate(
+    estimates: &[JobEstimate],
+    elapsed: Time,
+    aggregate: &BTreeMap<MachineId, usize>,
+    spec: &ClusterSpec,
+) -> RhoEstimate {
+    let shares = greedy_job_distribution(estimates, aggregate, spec);
+    estimate_rho(estimates, elapsed, &shares, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_cluster::topology::ClusterSpec;
+    use themis_workload::models::ModelArch;
+
+    fn est(job: u32, total_min: f64, left_min: f64, max_par: usize, model: ModelArch) -> JobEstimate {
+        JobEstimate {
+            job: JobId(job),
+            total_work: Time::minutes(total_min),
+            work_left: Time::minutes(left_min),
+            max_parallelism: max_par,
+            sensitivity: model.sensitivity(),
+        }
+    }
+
+    fn spec() -> ClusterSpec {
+        // 2 racks × 2 machines × 4 GPUs, slot size 2.
+        ClusterSpec::homogeneous(2, 2, 4)
+    }
+
+    #[test]
+    fn ideal_running_time_is_dedicated_cluster_time() {
+        let estimates = vec![
+            est(0, 100.0, 100.0, 4, ModelArch::ResNet50),
+            est(1, 300.0, 300.0, 2, ModelArch::ResNet50),
+        ];
+        // job0: 100/4 = 25; job1: 300/2 = 150. With both jobs running
+        // concurrently in a dedicated cluster the app takes 150 minutes.
+        assert_eq!(ideal_running_time(&estimates), Time::minutes(150.0));
+    }
+
+    #[test]
+    fn no_allocation_gives_unbounded_rho() {
+        let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::ResNet50)];
+        let rho = estimate_rho(&estimates, Time::minutes(10.0), &BTreeMap::new(), &spec());
+        assert!(rho.rho.is_infinite());
+        assert_eq!(rho.t_id, Time::minutes(25.0));
+    }
+
+    #[test]
+    fn full_ideal_allocation_at_arrival_gives_rho_one() {
+        let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::ResNet50)];
+        let aggregate: BTreeMap<MachineId, usize> = [(MachineId(0), 4)].into();
+        let rho = estimate_rho_for_aggregate(&estimates, Time::ZERO, &aggregate, &spec());
+        // 4 GPUs on one machine, ResNet50 machine-locality S≈0.99 → ρ ≈ 1.01.
+        assert!(rho.rho >= 1.0);
+        assert!(rho.rho < 1.1, "rho {} should be close to 1", rho.rho);
+    }
+
+    #[test]
+    fn spreading_a_sensitive_model_raises_rho() {
+        let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::Vgg16)];
+        let packed: BTreeMap<MachineId, usize> = [(MachineId(0), 4)].into();
+        let spread: BTreeMap<MachineId, usize> =
+            [(MachineId(0), 1), (MachineId(1), 1), (MachineId(2), 1), (MachineId(3), 1)].into();
+        let spec = spec();
+        let rho_packed = estimate_rho_for_aggregate(&estimates, Time::ZERO, &packed, &spec);
+        let rho_spread = estimate_rho_for_aggregate(&estimates, Time::ZERO, &spread, &spec);
+        assert!(
+            rho_spread.rho > 1.5 * rho_packed.rho,
+            "VGG16 spread across racks ({}) must be much worse than packed ({})",
+            rho_spread.rho,
+            rho_packed.rho
+        );
+    }
+
+    #[test]
+    fn insensitive_model_barely_cares_about_spread() {
+        let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::ResNet50)];
+        let packed: BTreeMap<MachineId, usize> = [(MachineId(0), 4)].into();
+        let spread: BTreeMap<MachineId, usize> = [(MachineId(0), 2), (MachineId(2), 2)].into();
+        let spec = spec();
+        let rho_packed = estimate_rho_for_aggregate(&estimates, Time::ZERO, &packed, &spec);
+        let rho_spread = estimate_rho_for_aggregate(&estimates, Time::ZERO, &spread, &spec);
+        assert!(rho_spread.rho / rho_packed.rho < 1.15);
+    }
+
+    #[test]
+    fn elapsed_time_increases_rho() {
+        let estimates = vec![est(0, 100.0, 50.0, 4, ModelArch::ResNet50)];
+        let aggregate: BTreeMap<MachineId, usize> = [(MachineId(0), 4)].into();
+        let spec = spec();
+        let early = estimate_rho_for_aggregate(&estimates, Time::minutes(10.0), &aggregate, &spec);
+        let late = estimate_rho_for_aggregate(&estimates, Time::minutes(100.0), &aggregate, &spec);
+        assert!(late.rho > early.rho);
+        assert!(late.t_sh > early.t_sh);
+    }
+
+    #[test]
+    fn more_gpus_never_hurt_rho() {
+        let estimates = vec![
+            est(0, 100.0, 80.0, 4, ModelArch::Vgg16),
+            est(1, 200.0, 150.0, 4, ModelArch::Vgg16),
+        ];
+        let spec = spec();
+        let small: BTreeMap<MachineId, usize> = [(MachineId(0), 2)].into();
+        let large: BTreeMap<MachineId, usize> = [(MachineId(0), 4), (MachineId(1), 4)].into();
+        let rho_small = estimate_rho_for_aggregate(&estimates, Time::minutes(5.0), &small, &spec);
+        let rho_large = estimate_rho_for_aggregate(&estimates, Time::minutes(5.0), &large, &spec);
+        assert!(rho_large.rho <= rho_small.rho + 1e-9);
+    }
+
+    #[test]
+    fn greedy_distribution_respects_max_parallelism_and_supply() {
+        let estimates = vec![
+            est(0, 100.0, 100.0, 4, ModelArch::ResNet50),
+            est(1, 300.0, 300.0, 2, ModelArch::ResNet50),
+        ];
+        let aggregate: BTreeMap<MachineId, usize> = [(MachineId(0), 4), (MachineId(1), 1)].into();
+        let shares = greedy_job_distribution(&estimates, &aggregate, &spec());
+        let total: usize = shares
+            .values()
+            .flat_map(|s| s.iter().map(|(_, c)| *c))
+            .sum();
+        assert!(total <= 5);
+        for (job, share) in &shares {
+            let est = estimates.iter().find(|e| e.job == *job).unwrap();
+            let count: usize = share.iter().map(|(_, c)| *c).sum();
+            assert!(count <= est.max_parallelism);
+        }
+        // The job with the least work left (job 0, which determines the
+        // app's finish time) is served first and gets the densest machine.
+        assert_eq!(shares[&JobId(0)][0].0, MachineId(0));
+    }
+
+    #[test]
+    fn share_locality_levels() {
+        let spec = spec();
+        assert_eq!(share_locality(&vec![(MachineId(0), 2)], &spec), Locality::Slot);
+        assert_eq!(share_locality(&vec![(MachineId(0), 4)], &spec), Locality::Machine);
+        assert_eq!(
+            share_locality(&vec![(MachineId(0), 2), (MachineId(1), 2)], &spec),
+            Locality::Rack
+        );
+        assert_eq!(
+            share_locality(&vec![(MachineId(0), 2), (MachineId(2), 2)], &spec),
+            Locality::CrossRack
+        );
+        assert_eq!(share_locality(&Vec::new(), &spec), Locality::Slot);
+    }
+
+    #[test]
+    fn finished_app_rho_is_elapsed_over_ideal() {
+        let estimates = vec![est(0, 100.0, 0.0, 4, ModelArch::ResNet50)];
+        let rho = estimate_rho(&estimates, Time::minutes(50.0), &BTreeMap::new(), &spec());
+        assert!((rho.rho - 2.0).abs() < 1e-9);
+    }
+}

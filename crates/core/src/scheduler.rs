@@ -1,0 +1,310 @@
+//! [`ThemisScheduler`]: the full Themis policy plugged into the simulator.
+//!
+//! This is the glue between the Arbiter, the per-app Agents and the
+//! simulation engine. At every scheduling event it:
+//!
+//! 1. probes each schedulable app's Agent for its current ρ,
+//! 2. selects the worst-off `1 − f` fraction as auction participants,
+//! 3. collects their bid tables over the free-GPU offer,
+//! 4. runs the partial-allocation auction and leftover assignment,
+//! 5. converts the per-machine awards into concrete GPU → job allocations
+//!    using each Agent's greedy job-level distribution.
+
+use crate::agent::Agent;
+use crate::arbiter::{AppStatus, Arbiter};
+use crate::config::ThemisConfig;
+use crate::rho::JobShare;
+use std::collections::BTreeMap;
+use themis_cluster::alloc::FreeVector;
+use themis_cluster::cluster::Cluster;
+use themis_cluster::ids::{AppId, GpuId, JobId};
+use themis_cluster::time::Time;
+use themis_protocol::bid::BidTable;
+use themis_sim::app_runtime::AppRuntime;
+use themis_sim::scheduler::{AllocationDecision, Scheduler};
+
+/// The Themis cross-app scheduler.
+#[derive(Debug)]
+pub struct ThemisScheduler {
+    config: ThemisConfig,
+    arbiter: Arbiter,
+    agents: BTreeMap<AppId, Agent>,
+}
+
+impl ThemisScheduler {
+    /// Creates a Themis scheduler with the given configuration.
+    pub fn new(config: ThemisConfig) -> Self {
+        ThemisScheduler {
+            arbiter: Arbiter::new(config),
+            agents: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// Creates a Themis scheduler with the paper's recommended defaults
+    /// (`f = 0.8`, 20-minute leases).
+    pub fn with_defaults() -> Self {
+        Self::new(ThemisConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ThemisConfig {
+        &self.config
+    }
+
+    /// Number of auction rounds run so far.
+    pub fn auction_rounds(&self) -> u64 {
+        self.arbiter.rounds()
+    }
+
+    fn agent_for(&mut self, app: AppId) -> &mut Agent {
+        let config = self.config;
+        self.agents
+            .entry(app)
+            .or_insert_with(|| Agent::new(app, &config))
+    }
+
+    /// Converts a per-app grant (per-machine counts) into concrete
+    /// allocation decisions, drawing GPUs from `shadow` (which tracks
+    /// GPUs already promised this round).
+    fn materialize_grant(
+        &mut self,
+        now: Time,
+        shadow: &mut Cluster,
+        runtime: &AppRuntime,
+        grant: &FreeVector,
+    ) -> Vec<AllocationDecision> {
+        let app = runtime.id();
+        let shares: BTreeMap<JobId, JobShare> = self
+            .agent_for(app)
+            .distribute_award(runtime, shadow, grant);
+        let mut decisions = Vec::new();
+        for (job, share) in shares {
+            let mut gpus: Vec<GpuId> = Vec::new();
+            for (machine, count) in share {
+                let free = shadow.free_gpus_on(machine);
+                for gpu in free.into_iter().take(count) {
+                    if shadow.allocate(gpu, app, job, now, Time::INFINITY).is_ok() {
+                        gpus.push(gpu);
+                    }
+                }
+            }
+            if !gpus.is_empty() {
+                decisions.push(AllocationDecision { app, job, gpus });
+            }
+        }
+        decisions
+    }
+}
+
+impl Scheduler for ThemisScheduler {
+    fn name(&self) -> &'static str {
+        "themis"
+    }
+
+    fn schedule(
+        &mut self,
+        now: Time,
+        cluster: &Cluster,
+        apps: &BTreeMap<AppId, AppRuntime>,
+    ) -> Vec<AllocationDecision> {
+        let offer = cluster.free_vector();
+        if offer.is_empty() {
+            return Vec::new();
+        }
+
+        // 1. Probe every schedulable app's Agent for its current ρ.
+        let mut statuses: Vec<AppStatus> = Vec::new();
+        for runtime in apps.values().filter(|a| a.is_schedulable(now)) {
+            let app = runtime.id();
+            let rho = self.agent_for(app).current_rho(now, runtime, cluster).rho;
+            statuses.push(AppStatus {
+                app,
+                rho,
+                unmet_demand: runtime.unmet_demand(cluster),
+                footprint: cluster.gpus_of_app(app).machines(cluster.spec()),
+            });
+        }
+        if statuses.iter().all(|s| s.unmet_demand == 0) {
+            return Vec::new();
+        }
+
+        // 2. Select the worst-off 1−f fraction and collect their bids.
+        let participants = self.arbiter.select_participants(&statuses);
+        let mut bids: Vec<BidTable> = Vec::new();
+        for app in &participants {
+            let runtime = &apps[app];
+            let bid = self.agent_for(*app).prepare_bid(now, runtime, cluster, &offer);
+            if !bid.is_empty() {
+                bids.push(bid);
+            }
+        }
+
+        // 3. Run the auction + leftover assignment.
+        let outcome = self
+            .arbiter
+            .run_auction(&offer, &statuses, &participants, &bids);
+
+        // 4. Materialize per-machine grants into concrete GPU decisions.
+        let mut shadow = cluster.clone();
+        let mut decisions = Vec::new();
+        for (app, grant) in outcome.all_grants() {
+            let Some(runtime) = apps.get(&app) else { continue };
+            decisions.extend(self.materialize_grant(now, &mut shadow, runtime, &grant));
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_cluster::topology::ClusterSpec;
+    use themis_sim::engine::{Engine, SimConfig};
+    use themis_workload::app::AppSpec;
+    use themis_workload::job::JobSpec;
+    use themis_workload::models::ModelArch;
+    use themis_workload::trace::{two_app_micro_trace, TraceConfig, TraceGenerator};
+
+    fn single_job_app(id: u32, arrival: f64, iterations: f64, gpus: usize) -> AppSpec {
+        let job = JobSpec::new(
+            JobId(0),
+            ModelArch::ResNet50,
+            iterations,
+            Time::minutes(0.1),
+            gpus,
+        );
+        AppSpec::single_job(AppId(id), Time::minutes(arrival), job)
+    }
+
+    #[test]
+    fn single_app_gets_everything_it_needs() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
+        let trace = vec![single_job_app(0, 0.0, 400.0, 4)];
+        let report = Engine::new(
+            cluster,
+            trace,
+            ThemisScheduler::with_defaults(),
+            SimConfig::default(),
+        )
+        .run();
+        assert_eq!(report.finished_apps(), 1);
+        let rho = report.apps[0].rho.unwrap();
+        assert!(rho < 1.2, "lone app should be near-ideal, rho = {rho}");
+    }
+
+    #[test]
+    fn contended_apps_share_reasonably() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
+        let trace = vec![
+            single_job_app(0, 0.0, 800.0, 4),
+            single_job_app(1, 0.0, 800.0, 4),
+        ];
+        let report = Engine::new(
+            cluster,
+            trace,
+            ThemisScheduler::with_defaults(),
+            SimConfig::default().with_checkpoint_overhead(Time::ZERO),
+        )
+        .run();
+        assert_eq!(report.finished_apps(), 2);
+        // Two identical apps on a cluster with enough room for both: both
+        // should get 4 GPUs and finish near-ideally.
+        let max_rho = report.max_fairness().unwrap();
+        assert!(max_rho < 2.0, "max rho {max_rho}");
+        assert!(report.jains_index().unwrap() > 0.8);
+    }
+
+    #[test]
+    fn oversubscribed_cluster_stays_fair() {
+        // 4 identical apps, each wanting the whole 4-GPU machine: contention
+        // is 4x, so the ideal max fairness is ~4.
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        let trace: Vec<AppSpec> = (0..4).map(|i| single_job_app(i, 0.0, 400.0, 4)).collect();
+        let report = Engine::new(
+            cluster,
+            trace,
+            ThemisScheduler::with_defaults(),
+            SimConfig::default()
+                .with_lease(Time::minutes(10.0))
+                .with_checkpoint_overhead(Time::ZERO),
+        )
+        .run();
+        assert_eq!(report.finished_apps(), 4);
+        let max_rho = report.max_fairness().unwrap();
+        assert!(
+            max_rho < 6.0,
+            "max fairness {max_rho} should be near the 4x contention level"
+        );
+        assert!(report.jains_index().unwrap() > 0.6);
+    }
+
+    #[test]
+    fn short_app_is_favoured_over_long_app() {
+        // The Figure-8 micro-benchmark: two equal-sensitivity apps, 3x
+        // running-time ratio, arriving together on a small cluster.
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        let trace = two_app_micro_trace();
+        let report = Engine::new(
+            cluster,
+            trace,
+            ThemisScheduler::with_defaults(),
+            SimConfig::default()
+                .with_lease(Time::minutes(20.0))
+                .with_checkpoint_overhead(Time::ZERO),
+        )
+        .run();
+        assert_eq!(report.finished_apps(), 2);
+        let short = &report.apps[0];
+        let long = &report.apps[1];
+        // The short app must not be starved behind the long one: its rho
+        // must stay in the same ballpark as the long app's.
+        assert!(
+            short.rho.unwrap() <= long.rho.unwrap() * 3.0,
+            "short rho {} vs long rho {}",
+            short.rho.unwrap(),
+            long.rho.unwrap()
+        );
+        // Neither app is starved.
+        assert!(long.finished_at.is_some());
+    }
+
+    #[test]
+    fn runs_on_a_generated_trace() {
+        let cluster = Cluster::new(ClusterSpec::heterogeneous_256());
+        let trace = TraceGenerator::new(
+            TraceConfig::default().with_num_apps(12).with_seed(5),
+        )
+        .generate();
+        let themis = ThemisScheduler::new(ThemisConfig::default().with_seed(5));
+        let report = Engine::new(
+            cluster,
+            trace,
+            themis,
+            SimConfig::default().with_max_sim_time(Time::minutes(500_000.0)),
+        )
+        .run();
+        assert_eq!(report.unfinished_apps(), 0);
+        assert!(report.max_fairness().unwrap() >= 1.0 - 1e-9);
+        assert!(report.scheduling_rounds > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let cluster = Cluster::new(ClusterSpec::homogeneous(2, 4, 4));
+            let trace = TraceGenerator::new(
+                TraceConfig::default().with_num_apps(6).with_seed(2),
+            )
+            .generate();
+            Engine::new(
+                cluster,
+                trace,
+                ThemisScheduler::new(ThemisConfig::default().with_seed(7)),
+                SimConfig::default(),
+            )
+            .run()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,248 @@
+//! HyperBand app scheduler.
+//!
+//! HyperBand (Li et al., 2016) launches several training jobs with equal
+//! priority and, after each "rung" of a fixed number of iterations, kills
+//! the bottom half of jobs with the poorest convergence until a single job
+//! remains (§5.2, "App scheduler background"). The paper's prototype
+//! implements this scheduler inside the Submarine Application Master (§7).
+
+use crate::api::{AppScheduler, JobView, SchedulerUpdate};
+use crate::estimator::WorkEstimator;
+use std::collections::BTreeMap;
+use themis_cluster::ids::JobId;
+use themis_cluster::time::Time;
+
+/// Configuration of the successive-halving schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperBandConfig {
+    /// Number of iterations each surviving job must complete before the
+    /// next halving decision is taken.
+    pub rung_iterations: f64,
+    /// Elimination factor: at each rung, `1/eta` of the jobs survive
+    /// (classic HyperBand uses 2, i.e. "kill the bottom half").
+    pub eta: f64,
+}
+
+impl Default for HyperBandConfig {
+    fn default() -> Self {
+        HyperBandConfig {
+            rung_iterations: 50.0,
+            eta: 2.0,
+        }
+    }
+}
+
+/// The HyperBand successive-halving scheduler.
+#[derive(Debug)]
+pub struct HyperBand {
+    config: HyperBandConfig,
+    /// Iteration threshold at which the next halving decision happens.
+    next_rung: f64,
+    estimators: BTreeMap<JobId, WorkEstimator>,
+    rungs_completed: usize,
+}
+
+impl HyperBand {
+    /// Creates a HyperBand scheduler with an explicit configuration.
+    pub fn new(config: HyperBandConfig) -> Self {
+        HyperBand {
+            next_rung: config.rung_iterations,
+            config,
+            estimators: BTreeMap::new(),
+            rungs_completed: 0,
+        }
+    }
+
+    /// Creates a HyperBand scheduler with a rung size scaled to the number
+    /// of jobs (more configurations → shorter rungs, as in the original
+    /// algorithm's bracket construction).
+    pub fn with_defaults(num_jobs: usize) -> Self {
+        let rung = if num_jobs >= 32 { 25.0 } else { 50.0 };
+        HyperBand::new(HyperBandConfig {
+            rung_iterations: rung,
+            eta: 2.0,
+        })
+    }
+
+    /// Number of halving rungs performed so far.
+    pub fn rungs_completed(&self) -> usize {
+        self.rungs_completed
+    }
+
+    /// Ranks active jobs by projected total iterations to convergence
+    /// (ascending: fastest-converging first).
+    fn rank_jobs(&self, jobs: &[JobView<'_>]) -> Vec<(JobId, f64)> {
+        let mut ranked: Vec<(JobId, f64)> = jobs
+            .iter()
+            .filter(|j| j.is_active())
+            .map(|j| {
+                let projected = self
+                    .estimators
+                    .get(&j.id())
+                    .and_then(|e| e.projected_total_iterations(j.spec))
+                    .unwrap_or(f64::INFINITY);
+                (j.id(), projected)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite projections").then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+impl AppScheduler for HyperBand {
+    fn name(&self) -> &'static str {
+        "hyperband"
+    }
+
+    fn update(&mut self, _now: Time, jobs: &[JobView<'_>]) -> SchedulerUpdate {
+        // Record fresh loss observations for every active job.
+        for job in jobs.iter().filter(|j| j.is_active()) {
+            self.estimators
+                .entry(job.id())
+                .or_default()
+                .observe_progress(job.spec, job.progress);
+        }
+
+        let active: Vec<&JobView<'_>> = jobs.iter().filter(|j| j.is_active()).collect();
+        if active.len() <= 1 {
+            return SchedulerUpdate::none();
+        }
+
+        // A rung completes when every surviving job has reached the rung's
+        // iteration threshold (or finished).
+        let all_reached = active
+            .iter()
+            .all(|j| j.progress.iterations_done >= self.next_rung);
+        if !all_reached {
+            return SchedulerUpdate::none();
+        }
+
+        let ranked = self.rank_jobs(jobs);
+        let survivors = ((ranked.len() as f64 / self.config.eta).ceil() as usize).max(1);
+        let kill: Vec<JobId> = ranked
+            .iter()
+            .skip(survivors)
+            .map(|(id, _)| *id)
+            .collect();
+        self.rungs_completed += 1;
+        self.next_rung += self.config.rung_iterations;
+        SchedulerUpdate {
+            kill,
+            max_parallelism: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_cluster::ids::JobId;
+    use themis_cluster::placement::Locality;
+    use themis_cluster::time::Time;
+    use themis_workload::job::{JobProgress, JobSpec};
+    use themis_workload::loss::LossCurve;
+    use themis_workload::models::ModelArch;
+
+    /// Builds a job whose convergence speed is controlled by `exponent`:
+    /// larger exponent = faster convergence = better hyper-parameters.
+    fn job(id: u32, exponent: f64) -> (JobSpec, JobProgress) {
+        let mut spec = JobSpec::new(JobId(id), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), 4);
+        spec.loss_curve = LossCurve::PowerLaw {
+            floor: 0.0,
+            scale: 2.0,
+            exponent,
+        };
+        spec.target_loss = 0.1;
+        (spec, JobProgress::new())
+    }
+
+    fn views<'a>(jobs: &'a [(JobSpec, JobProgress)]) -> Vec<JobView<'a>> {
+        jobs.iter()
+            .map(|(s, p)| JobView {
+                spec: s,
+                progress: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_kills_before_rung_completes() {
+        let jobs = vec![job(0, 0.6), job(1, 0.3)];
+        let mut hb = HyperBand::new(HyperBandConfig {
+            rung_iterations: 100.0,
+            eta: 2.0,
+        });
+        let update = hb.update(Time::ZERO, &views(&jobs));
+        assert!(update.kill.is_empty());
+        assert_eq!(hb.rungs_completed(), 0);
+    }
+
+    #[test]
+    fn kills_bottom_half_at_rung() {
+        let mut jobs = vec![job(0, 0.8), job(1, 0.7), job(2, 0.3), job(3, 0.25)];
+        let mut hb = HyperBand::new(HyperBandConfig {
+            rung_iterations: 50.0,
+            eta: 2.0,
+        });
+        // Feed several observations as training progresses so the curve fit
+        // has data, then cross the rung.
+        for _ in 0..6 {
+            for (spec, progress) in jobs.iter_mut() {
+                progress.advance(spec, Time::minutes(2.5), 4, Locality::Slot);
+            }
+            let v = views(&jobs);
+            let update = hb.update(Time::ZERO, &v);
+            if !update.kill.is_empty() {
+                // The slowly-converging jobs (small exponents => ids 2, 3)
+                // must be the ones killed.
+                assert_eq!(update.kill.len(), 2);
+                assert!(update.kill.contains(&JobId(2)));
+                assert!(update.kill.contains(&JobId(3)));
+                return;
+            }
+        }
+        panic!("expected a halving rung to trigger");
+    }
+
+    #[test]
+    fn successive_rungs_reduce_to_one_job() {
+        let mut jobs = vec![job(0, 0.9), job(1, 0.6), job(2, 0.45), job(3, 0.3)];
+        let mut hb = HyperBand::new(HyperBandConfig {
+            rung_iterations: 40.0,
+            eta: 2.0,
+        });
+        let mut killed: Vec<JobId> = Vec::new();
+        for step in 0..200 {
+            for (spec, progress) in jobs.iter_mut() {
+                if !killed.contains(&spec.id) {
+                    progress.advance(spec, Time::minutes(1.0), 4, Locality::Slot);
+                }
+            }
+            let v = views(&jobs);
+            let update = hb.update(Time::minutes(step as f64), &v);
+            for id in update.kill {
+                let (spec, progress) = jobs.iter_mut().find(|(s, _)| s.id == id).unwrap();
+                progress.kill(Time::minutes(step as f64));
+                killed.push(spec.id);
+            }
+            let active = jobs.iter().filter(|(s, p)| !p.is_finished(s)).count();
+            if active == 1 {
+                // Exactly the fastest job survives.
+                let survivor = jobs.iter().find(|(s, p)| !p.is_finished(s)).unwrap();
+                assert_eq!(survivor.0.id, JobId(0));
+                return;
+            }
+        }
+        panic!("never reduced to a single job");
+    }
+
+    #[test]
+    fn single_active_job_is_never_killed() {
+        let jobs = vec![job(0, 0.5)];
+        let mut hb = HyperBand::with_defaults(1);
+        for _ in 0..10 {
+            let update = hb.update(Time::ZERO, &views(&jobs));
+            assert!(update.kill.is_empty());
+        }
+    }
+}

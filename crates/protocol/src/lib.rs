@@ -1,0 +1,38 @@
+//! # themis-protocol
+//!
+//! Message types and transport for the Arbiter ↔ Agent interface of the
+//! Themis reproduction (NSDI 2020).
+//!
+//! The paper's prototype adds gRPC interfaces between the per-app **Agent**
+//! (co-located with the app's hyper-parameter tuning framework) and the
+//! central **Arbiter** inside the YARN resource manager (§7): the Arbiter
+//! probes agents for their finish-time-fairness estimates, sends resource
+//! offers to the worst-off fraction of apps, receives bid tables back, and
+//! finally notifies winners of their allocations.
+//!
+//! This crate reproduces that interface as plain Rust types:
+//!
+//! * [`messages`] — the typed protocol messages (ρ query/report, offer, bid
+//!   table, allocation, lease notifications), all serializable with serde,
+//! * [`bid`] — the bid-table representation shared with the auction in
+//!   `themis-core`,
+//! * [`transport`] — a [`transport::Transport`] trait plus an in-memory
+//!   duplex channel implementation with optional fault injection (message
+//!   drop and delay), in the spirit of the fault-injection hooks the
+//!   networking guides recommend for protocol testing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bid;
+pub mod messages;
+pub mod transport;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::bid::{BidEntry, BidTable};
+    pub use crate::messages::{AgentToArbiter, ArbiterToAgent, OfferMsg, RhoReport, WinNotification};
+    pub use crate::transport::{Endpoint, FaultConfig, InMemoryLink, Transport, TransportError};
+}
+
+pub use prelude::*;

@@ -1,0 +1,198 @@
+//! Protocol messages exchanged between the Arbiter and the per-app Agents.
+//!
+//! The five steps of a Themis scheduling round (§3.1, Figure 3a) map to the
+//! message types below:
+//!
+//! 1. Arbiter → all Agents: [`ArbiterToAgent::QueryRho`]
+//! 2. Agents → Arbiter: [`AgentToArbiter::Rho`]
+//! 3. Arbiter → worst-off 1−f Agents: [`ArbiterToAgent::Offer`]
+//! 4. Agents → Arbiter: [`AgentToArbiter::Bid`]
+//! 5. Arbiter → winning Agents: [`ArbiterToAgent::Win`]
+//!
+//! Lease expiry notifications round out the lifecycle.
+
+use crate::bid::BidTable;
+use serde::{Deserialize, Serialize};
+use themis_cluster::alloc::FreeVector;
+use themis_cluster::ids::{AppId, GpuId, JobId};
+use themis_cluster::time::Time;
+
+/// A resource offer from the Arbiter: the per-machine free-GPU vector that
+/// is being auctioned, together with the auction round it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfferMsg {
+    /// Monotonically increasing auction round number.
+    pub round: u64,
+    /// Time at which the auction is run.
+    pub now: Time,
+    /// The free resources being auctioned.
+    pub resources: FreeVector,
+    /// Deadline by which the Agent must reply with a bid.
+    pub reply_by: Time,
+}
+
+/// An Agent's report of its app's current finish-time fairness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RhoReport {
+    /// The reporting app.
+    pub app: AppId,
+    /// Current estimate of ρ = T_sh / T_id.
+    pub rho: f64,
+}
+
+/// A winning-allocation notification: concrete GPUs granted to one job of
+/// the winning app, valid until the lease expires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WinNotification {
+    /// Auction round this allocation was decided in.
+    pub round: u64,
+    /// The winning app.
+    pub app: AppId,
+    /// The job within the app the Arbiter assigned the GPUs to (the app's
+    /// own scheduler may redistribute among its jobs).
+    pub job: JobId,
+    /// The concrete GPUs granted.
+    pub gpus: Vec<GpuId>,
+    /// Expiry time of the lease on these GPUs.
+    pub lease_expires_at: Time,
+}
+
+/// Messages flowing from the Arbiter to an Agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArbiterToAgent {
+    /// Step 1: ask the Agent for its app's current ρ estimate.
+    QueryRho {
+        /// Auction round the query belongs to.
+        round: u64,
+    },
+    /// Step 3: offer available resources for bidding.
+    Offer(OfferMsg),
+    /// Step 5: notify the Agent of a winning allocation.
+    Win(WinNotification),
+    /// A lease held by the app has expired; the GPUs have been reclaimed.
+    LeaseExpired {
+        /// The GPUs that were reclaimed.
+        gpus: Vec<GpuId>,
+        /// When the reclamation happened.
+        at: Time,
+    },
+}
+
+/// Messages flowing from an Agent to the Arbiter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentToArbiter {
+    /// Step 2: report the app's current ρ.
+    Rho(RhoReport),
+    /// Step 4: submit the bid table for the current offer.
+    Bid {
+        /// Auction round the bid responds to.
+        round: u64,
+        /// The valuation table.
+        table: BidTable,
+    },
+    /// Decline to bid in this round (e.g. the app has no runnable work).
+    Pass {
+        /// Auction round being passed on.
+        round: u64,
+        /// The passing app.
+        app: AppId,
+    },
+}
+
+impl ArbiterToAgent {
+    /// The auction round this message belongs to, if any.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            ArbiterToAgent::QueryRho { round } => Some(*round),
+            ArbiterToAgent::Offer(o) => Some(o.round),
+            ArbiterToAgent::Win(w) => Some(w.round),
+            ArbiterToAgent::LeaseExpired { .. } => None,
+        }
+    }
+}
+
+impl AgentToArbiter {
+    /// The app that sent this message.
+    pub fn app(&self) -> AppId {
+        match self {
+            AgentToArbiter::Rho(r) => r.app,
+            AgentToArbiter::Bid { table, .. } => table.app,
+            AgentToArbiter::Pass { app, .. } => *app,
+        }
+    }
+
+    /// The auction round this message belongs to.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            AgentToArbiter::Rho(_) => None,
+            AgentToArbiter::Bid { round, .. } => Some(*round),
+            AgentToArbiter::Pass { round, .. } => Some(*round),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_cluster::ids::MachineId;
+
+    #[test]
+    fn rounds_are_extracted() {
+        let offer = ArbiterToAgent::Offer(OfferMsg {
+            round: 3,
+            now: Time::minutes(10.0),
+            resources: FreeVector::from_counts([(MachineId(0), 2)]),
+            reply_by: Time::minutes(10.5),
+        });
+        assert_eq!(offer.round(), Some(3));
+        assert_eq!(ArbiterToAgent::QueryRho { round: 9 }.round(), Some(9));
+        assert_eq!(
+            ArbiterToAgent::LeaseExpired {
+                gpus: vec![GpuId(0)],
+                at: Time::ZERO
+            }
+            .round(),
+            None
+        );
+    }
+
+    #[test]
+    fn agent_messages_know_their_app() {
+        let rho = AgentToArbiter::Rho(RhoReport {
+            app: AppId(4),
+            rho: 2.5,
+        });
+        assert_eq!(rho.app(), AppId(4));
+        assert_eq!(rho.round(), None);
+
+        let bid = AgentToArbiter::Bid {
+            round: 1,
+            table: BidTable::empty(AppId(7), 3.0),
+        };
+        assert_eq!(bid.app(), AppId(7));
+        assert_eq!(bid.round(), Some(1));
+
+        let pass = AgentToArbiter::Pass {
+            round: 2,
+            app: AppId(9),
+        };
+        assert_eq!(pass.app(), AppId(9));
+        assert_eq!(pass.round(), Some(2));
+    }
+
+    #[test]
+    fn win_notification_round_trips_fields() {
+        let win = WinNotification {
+            round: 5,
+            app: AppId(1),
+            job: JobId(2),
+            gpus: vec![GpuId(3), GpuId(4)],
+            lease_expires_at: Time::minutes(60.0),
+        };
+        let msg = ArbiterToAgent::Win(win.clone());
+        match msg {
+            ArbiterToAgent::Win(w) => assert_eq!(w, win),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

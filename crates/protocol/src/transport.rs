@@ -1,0 +1,315 @@
+//! In-memory transport between the Arbiter and Agents.
+//!
+//! The paper's prototype uses gRPC over the cluster network and reports the
+//! network overhead as negligible (§8.3.2). For the reproduction the
+//! interesting behaviour is the *protocol*, not the wire format, so the
+//! transport here is an in-memory duplex link built on `crossbeam` channels.
+//! To exercise the Arbiter's robustness (a slow or silent Agent must not
+//! stall an auction), the link supports fault injection: a configurable
+//! probability of dropping a message and a fixed delivery delay that the
+//! receiver observes through timestamps.
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+use themis_cluster::time::Time;
+
+/// Errors returned by transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint has been dropped; no further messages can flow.
+    Disconnected,
+    /// No message is currently available (non-blocking receive).
+    Empty,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Empty => write!(f, "no message available"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bidirectional, possibly lossy message transport.
+///
+/// `S` is the type of messages sent from this endpoint, `R` the type
+/// received. Receiving is non-blocking: the Arbiter polls its Agents with a
+/// deadline rather than waiting forever (a silent Agent simply misses the
+/// auction round).
+pub trait Transport<S, R> {
+    /// Sends a message, stamped with the current (simulated) time.
+    fn send(&self, now: Time, msg: S) -> Result<(), TransportError>;
+
+    /// Receives the next message that is *visible* at `now` (i.e. whose
+    /// injected delivery delay has elapsed), if any.
+    fn try_recv(&self, now: Time) -> Result<R, TransportError>;
+
+    /// Drains every message visible at `now`.
+    fn drain(&self, now: Time) -> Vec<R> {
+        let mut out = Vec::new();
+        while let Ok(msg) = self.try_recv(now) {
+            out.push(msg);
+        }
+        out
+    }
+}
+
+/// Fault-injection configuration for an [`InMemoryLink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that a sent message is silently dropped.
+    pub drop_probability: f64,
+    /// Fixed delivery delay added to every message.
+    pub delay: Time,
+    /// RNG seed for the drop decisions (determinism for tests).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            delay: Time::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A perfectly reliable, zero-latency link.
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// A lossy link dropping messages with the given probability.
+    pub fn lossy(drop_probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_probability));
+        FaultConfig {
+            drop_probability,
+            delay: Time::ZERO,
+            seed,
+        }
+    }
+
+    /// A link with a fixed delivery delay.
+    pub fn delayed(delay: Time) -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            delay,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics collected by a link direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages accepted for delivery.
+    pub sent: u64,
+    /// Messages silently dropped by fault injection.
+    pub dropped: u64,
+    /// Messages actually received by the peer.
+    pub received: u64,
+}
+
+struct Queue<T> {
+    messages: Vec<(Time, T)>,
+    rng: SmallRng,
+    config: FaultConfig,
+    stats: LinkStats,
+    open: bool,
+}
+
+/// One endpoint of an in-memory duplex link.
+///
+/// Endpoint `A` sends `SA` and receives `SB`; endpoint `B` is the mirror
+/// image. Create a pair with [`InMemoryLink::pair`].
+pub struct Endpoint<S, R> {
+    tx: Arc<Mutex<Queue<S>>>,
+    rx: Arc<Mutex<Queue<R>>>,
+}
+
+impl<S, R> fmt::Debug for Endpoint<S, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").finish_non_exhaustive()
+    }
+}
+
+impl<S, R> Endpoint<S, R> {
+    /// Statistics for the sending direction of this endpoint.
+    pub fn send_stats(&self) -> LinkStats {
+        self.tx.lock().stats
+    }
+
+    /// Statistics for the receiving direction of this endpoint.
+    pub fn recv_stats(&self) -> LinkStats {
+        self.rx.lock().stats
+    }
+
+    /// Closes the endpoint: the peer will observe `Disconnected`.
+    pub fn close(&self) {
+        self.tx.lock().open = false;
+        self.rx.lock().open = false;
+    }
+}
+
+impl<S, R> Transport<S, R> for Endpoint<S, R> {
+    fn send(&self, now: Time, msg: S) -> Result<(), TransportError> {
+        let mut q = self.tx.lock();
+        if !q.open {
+            return Err(TransportError::Disconnected);
+        }
+        let drop_probability = q.config.drop_probability;
+        let dropped = drop_probability > 0.0 && q.rng.gen::<f64>() < drop_probability;
+        if dropped {
+            q.stats.dropped += 1;
+            return Ok(());
+        }
+        q.stats.sent += 1;
+        let deliver_at = now + q.config.delay;
+        q.messages.push((deliver_at, msg));
+        Ok(())
+    }
+
+    fn try_recv(&self, now: Time) -> Result<R, TransportError> {
+        let mut q = self.rx.lock();
+        let idx = q
+            .messages
+            .iter()
+            .position(|(deliver_at, _)| *deliver_at <= now);
+        match idx {
+            Some(i) => {
+                let (_, msg) = q.messages.remove(i);
+                q.stats.received += 1;
+                Ok(msg)
+            }
+            None => {
+                if q.open {
+                    Err(TransportError::Empty)
+                } else {
+                    Err(TransportError::Disconnected)
+                }
+            }
+        }
+    }
+}
+
+/// Factory for in-memory duplex links.
+pub struct InMemoryLink;
+
+impl InMemoryLink {
+    /// Creates a connected pair of endpoints.
+    ///
+    /// `a_to_b` configures faults on messages sent by the first endpoint,
+    /// `b_to_a` on messages sent by the second.
+    pub fn pair<SA, SB>(
+        a_to_b: FaultConfig,
+        b_to_a: FaultConfig,
+    ) -> (Endpoint<SA, SB>, Endpoint<SB, SA>) {
+        let ab = Arc::new(Mutex::new(Queue {
+            messages: Vec::new(),
+            rng: SmallRng::seed_from_u64(a_to_b.seed),
+            config: a_to_b,
+            stats: LinkStats::default(),
+            open: true,
+        }));
+        let ba = Arc::new(Mutex::new(Queue {
+            messages: Vec::new(),
+            rng: SmallRng::seed_from_u64(b_to_a.seed),
+            config: b_to_a,
+            stats: LinkStats::default(),
+            open: true,
+        }));
+        (
+            Endpoint {
+                tx: Arc::clone(&ab),
+                rx: Arc::clone(&ba),
+            },
+            Endpoint { tx: ba, rx: ab },
+        )
+    }
+
+    /// Creates a reliable, zero-latency pair.
+    pub fn reliable_pair<SA, SB>() -> (Endpoint<SA, SB>, Endpoint<SB, SA>) {
+        Self::pair(FaultConfig::reliable(), FaultConfig::reliable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_flow_both_ways() {
+        let (arbiter, agent) = InMemoryLink::reliable_pair::<&'static str, u32>();
+        arbiter.send(Time::ZERO, "offer").unwrap();
+        assert_eq!(agent.try_recv(Time::ZERO).unwrap(), "offer");
+        agent.send(Time::ZERO, 42u32).unwrap();
+        assert_eq!(arbiter.try_recv(Time::ZERO).unwrap(), 42);
+        assert_eq!(arbiter.try_recv(Time::ZERO), Err(TransportError::Empty));
+    }
+
+    #[test]
+    fn delay_holds_messages_until_due() {
+        let (a, b) =
+            InMemoryLink::pair::<u32, u32>(FaultConfig::delayed(Time::minutes(5.0)), FaultConfig::reliable());
+        a.send(Time::minutes(10.0), 1).unwrap();
+        assert_eq!(b.try_recv(Time::minutes(12.0)), Err(TransportError::Empty));
+        assert_eq!(b.try_recv(Time::minutes(15.0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_some_messages() {
+        let (a, b) = InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.5, 7), FaultConfig::reliable());
+        for i in 0..1000 {
+            a.send(Time::ZERO, i).unwrap();
+        }
+        let received = b.drain(Time::ZERO).len() as u64;
+        let stats = a.send_stats();
+        assert_eq!(stats.sent + stats.dropped, 1000);
+        assert_eq!(stats.sent, received);
+        assert!(stats.dropped > 300 && stats.dropped < 700, "dropped {}", stats.dropped);
+    }
+
+    #[test]
+    fn drain_preserves_order() {
+        let (a, b) = InMemoryLink::reliable_pair::<u32, u32>();
+        for i in 0..5 {
+            a.send(Time::ZERO, i).unwrap();
+        }
+        assert_eq!(b.drain(Time::ZERO), vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.recv_stats().received, 5);
+    }
+
+    #[test]
+    fn closed_endpoint_disconnects_peer() {
+        let (a, b) = InMemoryLink::reliable_pair::<u32, u32>();
+        a.send(Time::ZERO, 1).unwrap();
+        a.close();
+        // Messages already in flight are still delivered…
+        assert_eq!(b.try_recv(Time::ZERO).unwrap(), 1);
+        // …then the peer observes the disconnect.
+        assert_eq!(b.try_recv(Time::ZERO), Err(TransportError::Disconnected));
+        assert_eq!(a.send(Time::ZERO, 2), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let run = |seed| {
+            let (a, b) =
+                InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.3, seed), FaultConfig::reliable());
+            for i in 0..100 {
+                a.send(Time::ZERO, i).unwrap();
+            }
+            b.drain(Time::ZERO)
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-app runtime state.
+//!
+//! [`AppRuntime`] bundles everything the simulator (and the schedulers it
+//! drives) needs to know about one app while it is in the system: its static
+//! spec, the training progress of every job, the app's own hyper-parameter
+//! scheduler, per-job parallelism overrides, attained GPU service (the
+//! Tiresias metric), restart penalties from checkpoint/restore, and the
+//! samples used for the evaluation metrics.
+
+use std::collections::BTreeMap;
+use themis_cluster::cluster::Cluster;
+use themis_cluster::ids::{AppId, JobId};
+use themis_cluster::time::Time;
+use themis_hpo::api::{AppScheduler, JobEstimate, JobView, SchedulerUpdate};
+use themis_workload::app::AppSpec;
+use themis_workload::job::{JobProgress, JobSpec};
+
+/// Mutable runtime state of one app inside the simulator.
+pub struct AppRuntime {
+    /// Static description of the app.
+    pub spec: AppSpec,
+    /// Per-job training progress.
+    pub progress: BTreeMap<JobId, JobProgress>,
+    /// The app's own hyper-parameter tuning scheduler (top level of the
+    /// two-level architecture).
+    pub hpo: Box<dyn AppScheduler>,
+    /// Per-job max-parallelism overrides set by the HPO scheduler.
+    pub max_par_override: BTreeMap<JobId, usize>,
+    /// Total GPU service attained so far (GPU-minutes held), the metric the
+    /// Tiresias baseline equalizes.
+    pub attained_service: Time,
+    /// Per-job "no progress before" timestamps modelling checkpoint/restore
+    /// overhead when an allocation changes (§8.3.2).
+    pub restart_until: BTreeMap<JobId, Time>,
+    /// Time the app finished (all jobs converged or killed).
+    pub finished_at: Option<Time>,
+    /// Duration-weighted placement-score accumulator: (score · GPU-minutes,
+    /// GPU-minutes).
+    pub placement_acc: (f64, f64),
+    /// Timeline of the app's total GPU count: appended whenever it changes.
+    pub gpu_timeline: Vec<(Time, usize)>,
+}
+
+impl std::fmt::Debug for AppRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppRuntime")
+            .field("app", &self.spec.id)
+            .field("jobs", &self.spec.num_jobs())
+            .field("finished_at", &self.finished_at)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AppRuntime {
+    /// Creates runtime state for an app with the given HPO scheduler.
+    pub fn new(spec: AppSpec, hpo: Box<dyn AppScheduler>) -> Self {
+        let progress = spec
+            .jobs
+            .iter()
+            .map(|j| (j.id, JobProgress::new()))
+            .collect();
+        AppRuntime {
+            spec,
+            progress,
+            hpo,
+            max_par_override: BTreeMap::new(),
+            attained_service: Time::ZERO,
+            restart_until: BTreeMap::new(),
+            finished_at: None,
+            placement_acc: (0.0, 0.0),
+            gpu_timeline: Vec::new(),
+        }
+    }
+
+    /// Creates runtime state with the default HPO scheduler for the app
+    /// (HyperBand for multi-job apps, a no-op for single-job apps).
+    pub fn with_default_hpo(spec: AppSpec) -> Self {
+        let hpo = themis_hpo::default_scheduler_for(&spec);
+        AppRuntime::new(spec, hpo)
+    }
+
+    /// The app id.
+    pub fn id(&self) -> AppId {
+        self.spec.id
+    }
+
+    /// Whether the app has arrived by `now`.
+    pub fn has_arrived(&self, now: Time) -> bool {
+        self.spec.arrival <= now
+    }
+
+    /// Whether the app has identified its best model: every exploration job
+    /// has either converged to the target accuracy or been terminated by
+    /// the app's hyper-parameter scheduler (§2.1 — the finish time of an
+    /// app is when the best model and hyper-parameters have been
+    /// identified, which requires the exploration to have run its course).
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+            || self
+                .spec
+                .jobs
+                .iter()
+                .all(|j| self.progress[&j.id].is_finished(j))
+    }
+
+    /// Whether the app is eligible for scheduling at `now`: it has arrived
+    /// and still has unfinished jobs.
+    pub fn is_schedulable(&self, now: Time) -> bool {
+        self.has_arrived(now) && !self.is_finished()
+    }
+
+    /// The spec of a job.
+    pub fn job_spec(&self, job: JobId) -> Option<&JobSpec> {
+        self.spec.job(job)
+    }
+
+    /// Jobs that are still running (not converged, not killed), in id order.
+    pub fn active_jobs(&self) -> Vec<JobId> {
+        self.spec
+            .jobs
+            .iter()
+            .filter(|j| !self.progress[&j.id].is_finished(j))
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// The effective max parallelism of a job: the HPO override if present,
+    /// otherwise the spec value.
+    pub fn effective_max_parallelism(&self, job: JobId) -> usize {
+        self.max_par_override
+            .get(&job)
+            .copied()
+            .unwrap_or_else(|| self.job_spec(job).map(|j| j.max_parallelism).unwrap_or(0))
+    }
+
+    /// Total GPU demand of the app right now: the sum of active jobs'
+    /// effective max parallelism.
+    pub fn total_demand(&self) -> usize {
+        self.active_jobs()
+            .iter()
+            .map(|j| self.effective_max_parallelism(*j))
+            .sum()
+    }
+
+    /// GPUs the app still wants beyond what it currently holds.
+    pub fn unmet_demand(&self, cluster: &Cluster) -> usize {
+        let held = cluster.gpus_of_app(self.id()).len();
+        self.total_demand().saturating_sub(held)
+    }
+
+    /// Read-only views of every job, for the HPO scheduler API.
+    pub fn job_views(&self) -> Vec<JobView<'_>> {
+        self.spec
+            .jobs
+            .iter()
+            .map(|j| JobView {
+                spec: j,
+                progress: &self.progress[&j.id],
+            })
+            .collect()
+    }
+
+    /// Per-job estimates for bid preparation (work left, max parallelism,
+    /// placement sensitivity), honouring HPO parallelism overrides.
+    pub fn estimates(&self) -> Vec<JobEstimate> {
+        let views = self.job_views();
+        let mut estimates = self.hpo.estimates(&views);
+        for est in &mut estimates {
+            est.max_parallelism = self.effective_max_parallelism(est.job);
+        }
+        estimates
+    }
+
+    /// Runs the app's HPO scheduler and applies its decisions (kills and
+    /// parallelism overrides). Returns the jobs that were killed.
+    pub fn run_hpo(&mut self, now: Time) -> Vec<JobId> {
+        // Build the views from `spec`/`progress` directly so the borrow of
+        // `self.hpo` stays disjoint.
+        let views: Vec<JobView<'_>> = self
+            .spec
+            .jobs
+            .iter()
+            .map(|j| JobView {
+                spec: j,
+                progress: &self.progress[&j.id],
+            })
+            .collect();
+        let update: SchedulerUpdate = self.hpo.update(now, &views);
+        drop(views);
+        for (job, par) in update.max_parallelism {
+            self.max_par_override.insert(job, par);
+        }
+        let mut killed = Vec::new();
+        for job in update.kill {
+            if let Some(progress) = self.progress.get_mut(&job) {
+                if !progress.killed {
+                    progress.kill(now);
+                    killed.push(job);
+                }
+            }
+        }
+        killed
+    }
+
+    /// Marks the app finished once every exploration job has converged or
+    /// been terminated. Returns `true` the first time the app transitions
+    /// to finished.
+    pub fn try_finish(&mut self, now: Time) -> bool {
+        if self.finished_at.is_none() && self.is_finished() {
+            self.finished_at = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances every running job by `dt` according to the GPUs it holds in
+    /// `cluster`, honouring restart penalties, and accumulates metrics.
+    pub fn advance(&mut self, cluster: &Cluster, from: Time, dt: Time) {
+        if dt <= Time::ZERO || !self.has_arrived(from + dt) {
+            return;
+        }
+        let app = self.id();
+        let to = from + dt;
+        // One pass over the cluster's assignment table for this app rather
+        // than one per job (apps can have up to ~98 jobs).
+        let by_job = cluster.jobs_of_app(app);
+        if by_job.is_empty() {
+            return;
+        }
+        for job_spec in &self.spec.jobs {
+            let progress = self
+                .progress
+                .get_mut(&job_spec.id)
+                .expect("progress exists for every job");
+            if progress.is_finished(job_spec) {
+                continue;
+            }
+            let Some(alloc) = by_job.get(&job_spec.id) else {
+                continue;
+            };
+            let gpus = alloc.len();
+            if gpus == 0 {
+                continue;
+            }
+            let locality = themis_cluster::placement::spread(alloc, cluster.spec());
+            // Attained service and placement score accrue for the full
+            // interval the GPUs are held.
+            let gpu_minutes = dt.as_minutes() * gpus as f64;
+            self.attained_service += Time::minutes(gpu_minutes);
+            let score = cluster.scorer().score(alloc, cluster.spec());
+            self.placement_acc.0 += score * gpu_minutes;
+            self.placement_acc.1 += gpu_minutes;
+            // Training progress only accrues after any restart penalty.
+            let start = self
+                .restart_until
+                .get(&job_spec.id)
+                .copied()
+                .unwrap_or(Time::ZERO)
+                .max(from);
+            if start < to {
+                progress.advance(job_spec, to - start, gpus, locality);
+            }
+            if progress.is_converged(job_spec) {
+                progress.mark_finished(to);
+            }
+        }
+    }
+
+    /// Records a change in the app's total GPU count for the timeline.
+    pub fn record_gpu_count(&mut self, now: Time, gpus: usize) {
+        match self.gpu_timeline.last() {
+            Some((_, last)) if *last == gpus => {}
+            _ => self.gpu_timeline.push((now, gpus)),
+        }
+    }
+
+    /// Duration-weighted average placement score over the app's lifetime
+    /// (1.0 when it never held a GPU, matching "trivially well placed").
+    pub fn average_placement_score(&self) -> f64 {
+        if self.placement_acc.1 <= 0.0 {
+            1.0
+        } else {
+            self.placement_acc.0 / self.placement_acc.1
+        }
+    }
+
+    /// The app's completion time (finish − arrival), if finished.
+    pub fn completion_time(&self) -> Option<Time> {
+        self.finished_at.map(|f| f - self.spec.arrival)
+    }
+
+    /// The app's *achieved* finish-time fairness ρ = (finish − arrival) /
+    /// T_ID, if finished. This is the quantity the paper's evaluation
+    /// reports (lower is better, ideal is the cluster contention level).
+    pub fn achieved_rho(&self) -> Option<f64> {
+        self.completion_time().map(|ct| {
+            let ideal = self.spec.ideal_running_time().as_minutes().max(1e-9);
+            ct.as_minutes() / ideal
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_cluster::ids::GpuId;
+    use themis_cluster::topology::ClusterSpec;
+    use themis_workload::models::ModelArch;
+
+    fn app(num_jobs: usize) -> AppSpec {
+        let jobs = (0..num_jobs)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i as u32),
+                    ModelArch::ResNet50,
+                    100.0,
+                    Time::minutes(0.1),
+                    2,
+                )
+            })
+            .collect();
+        AppSpec::new(AppId(0), Time::minutes(10.0), jobs)
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::homogeneous(1, 2, 4))
+    }
+
+    #[test]
+    fn arrival_and_schedulability() {
+        let rt = AppRuntime::with_default_hpo(app(1));
+        assert!(!rt.has_arrived(Time::minutes(5.0)));
+        assert!(rt.has_arrived(Time::minutes(10.0)));
+        assert!(rt.is_schedulable(Time::minutes(10.0)));
+        assert!(!rt.is_schedulable(Time::minutes(5.0)));
+        assert!(!rt.is_finished());
+    }
+
+    #[test]
+    fn demand_respects_overrides() {
+        let mut rt = AppRuntime::with_default_hpo(app(2));
+        assert_eq!(rt.total_demand(), 4);
+        rt.max_par_override.insert(JobId(0), 6);
+        assert_eq!(rt.effective_max_parallelism(JobId(0)), 6);
+        assert_eq!(rt.total_demand(), 8);
+        let cluster = cluster();
+        assert_eq!(rt.unmet_demand(&cluster), 8);
+    }
+
+    #[test]
+    fn advance_progresses_only_allocated_jobs() {
+        let mut rt = AppRuntime::with_default_hpo(app(2));
+        let mut cluster = cluster();
+        cluster
+            .allocate(GpuId(0), AppId(0), JobId(0), Time::minutes(10.0), Time::minutes(30.0))
+            .unwrap();
+        cluster
+            .allocate(GpuId(1), AppId(0), JobId(0), Time::minutes(10.0), Time::minutes(30.0))
+            .unwrap();
+        rt.advance(&cluster, Time::minutes(10.0), Time::minutes(5.0));
+        assert!(rt.progress[&JobId(0)].iterations_done > 0.0);
+        assert_eq!(rt.progress[&JobId(1)].iterations_done, 0.0);
+        assert_eq!(rt.attained_service, Time::minutes(10.0));
+        assert!(rt.average_placement_score() > 0.0);
+    }
+
+    #[test]
+    fn restart_penalty_delays_progress() {
+        let mut rt = AppRuntime::with_default_hpo(app(1));
+        let mut cluster = cluster();
+        cluster
+            .allocate(GpuId(0), AppId(0), JobId(0), Time::minutes(10.0), Time::minutes(30.0))
+            .unwrap();
+        rt.restart_until.insert(JobId(0), Time::minutes(12.0));
+        rt.advance(&cluster, Time::minutes(10.0), Time::minutes(2.0));
+        assert_eq!(rt.progress[&JobId(0)].iterations_done, 0.0);
+        // Attained service still accrues while the GPU is held.
+        assert_eq!(rt.attained_service, Time::minutes(2.0));
+        rt.advance(&cluster, Time::minutes(12.0), Time::minutes(2.0));
+        assert!(rt.progress[&JobId(0)].iterations_done > 0.0);
+    }
+
+    #[test]
+    fn app_finishes_when_all_jobs_finish() {
+        let mut rt = AppRuntime::with_default_hpo(app(2));
+        let mut cluster = cluster();
+        for job in [JobId(0), JobId(1)] {
+            for gpu in cluster.free_gpus().into_iter().take(2) {
+                cluster
+                    .allocate(gpu, AppId(0), job, Time::minutes(10.0), Time::minutes(1000.0))
+                    .unwrap();
+            }
+        }
+        // 100 iterations * 0.1 min / 2 GPUs = 5 minutes each.
+        rt.advance(&cluster, Time::minutes(10.0), Time::minutes(6.0));
+        assert!(rt.is_finished());
+        assert!(rt.try_finish(Time::minutes(16.0)));
+        assert!(!rt.try_finish(Time::minutes(17.0)), "only transitions once");
+        assert_eq!(rt.completion_time(), Some(Time::minutes(6.0)));
+        // rho = completion / ideal = 6 / 5.
+        assert!((rt.achieved_rho().unwrap() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_timeline_deduplicates() {
+        let mut rt = AppRuntime::with_default_hpo(app(1));
+        rt.record_gpu_count(Time::ZERO, 0);
+        rt.record_gpu_count(Time::minutes(1.0), 0);
+        rt.record_gpu_count(Time::minutes(2.0), 4);
+        rt.record_gpu_count(Time::minutes(3.0), 4);
+        rt.record_gpu_count(Time::minutes(4.0), 0);
+        assert_eq!(rt.gpu_timeline.len(), 3);
+    }
+
+    #[test]
+    fn estimates_follow_active_jobs() {
+        let mut rt = AppRuntime::with_default_hpo(app(3));
+        assert_eq!(rt.estimates().len(), 3);
+        rt.progress.get_mut(&JobId(1)).unwrap().kill(Time::ZERO);
+        assert_eq!(rt.estimates().len(), 2);
+        assert_eq!(rt.active_jobs(), vec![JobId(0), JobId(2)]);
+    }
+}

@@ -1,0 +1,563 @@
+//! The event-driven simulation engine.
+//!
+//! The engine owns the cluster, the per-app runtimes and the event queue,
+//! and drives an arbitrary [`Scheduler`] policy through the workload:
+//!
+//! 1. pop the next event (app arrival, lease expiry, projected job finish),
+//! 2. advance every running job's training progress to the event time,
+//! 3. reclaim expired leases and release GPUs of finished / killed jobs,
+//! 4. let each app's hyper-parameter scheduler kill or re-prioritize jobs,
+//! 5. run a scheduling round: the policy assigns free GPUs to jobs, leases
+//!    are granted, checkpoint/restore penalties are applied to jobs whose
+//!    placement changed, and follow-up events are enqueued.
+//!
+//! The engine is deterministic: identical inputs produce identical reports.
+
+use crate::app_runtime::AppRuntime;
+use crate::events::{EventKind, EventQueue};
+use crate::metrics::SimReport;
+use crate::scheduler::Scheduler;
+use std::collections::{BTreeMap, BTreeSet};
+use themis_cluster::cluster::Cluster;
+use themis_cluster::ids::{AppId, JobId};
+use themis_cluster::time::Time;
+use themis_workload::app::AppSpec;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Lease duration for every granted GPU (the paper settles on 20
+    /// minutes, §8.2).
+    pub lease_duration: Time,
+    /// Checkpoint + container-restart overhead applied to a job whose GPU
+    /// set changes (the paper measures ~35–60 s total, §8.3.2).
+    pub checkpoint_overhead: Time,
+    /// Hard cap on simulated time; apps unfinished at the cap are reported
+    /// as unfinished.
+    pub max_sim_time: Time,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            lease_duration: Time::minutes(20.0),
+            checkpoint_overhead: Time::minutes(1.0),
+            max_sim_time: Time::minutes(1_000_000.0),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Overrides the lease duration.
+    pub fn with_lease(mut self, lease: Time) -> Self {
+        self.lease_duration = lease;
+        self
+    }
+
+    /// Overrides the checkpoint/restart overhead.
+    pub fn with_checkpoint_overhead(mut self, overhead: Time) -> Self {
+        self.checkpoint_overhead = overhead;
+        self
+    }
+
+    /// Overrides the simulation time cap.
+    pub fn with_max_sim_time(mut self, cap: Time) -> Self {
+        self.max_sim_time = cap;
+        self
+    }
+}
+
+/// The discrete-event simulation engine, generic over the scheduling policy.
+pub struct Engine<S: Scheduler> {
+    cluster: Cluster,
+    apps: BTreeMap<AppId, AppRuntime>,
+    scheduler: S,
+    config: SimConfig,
+    now: Time,
+    events: EventQueue,
+    peak_contention: f64,
+    scheduling_rounds: u64,
+    /// The last projected-finish time pushed per job, to avoid flooding the
+    /// event queue with duplicate projections every round.
+    scheduled_finish: BTreeMap<(AppId, JobId), Time>,
+}
+
+impl<S: Scheduler> Engine<S> {
+    /// Creates an engine from app *specs*, attaching the default
+    /// hyper-parameter scheduler to each app.
+    pub fn new(cluster: Cluster, trace: Vec<AppSpec>, scheduler: S, config: SimConfig) -> Self {
+        let runtimes = trace.into_iter().map(AppRuntime::with_default_hpo).collect();
+        Self::with_runtimes(cluster, runtimes, scheduler, config)
+    }
+
+    /// Creates an engine from pre-built app runtimes (e.g. with custom HPO
+    /// schedulers attached).
+    pub fn with_runtimes(
+        cluster: Cluster,
+        runtimes: Vec<AppRuntime>,
+        scheduler: S,
+        config: SimConfig,
+    ) -> Self {
+        let apps: BTreeMap<AppId, AppRuntime> =
+            runtimes.into_iter().map(|rt| (rt.id(), rt)).collect();
+        Engine {
+            cluster,
+            apps,
+            scheduler,
+            config,
+            now: Time::ZERO,
+            events: EventQueue::new(),
+            peak_contention: 0.0,
+            scheduling_rounds: 0,
+            scheduled_finish: BTreeMap::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Read access to the cluster (useful in tests).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Read access to the app runtimes (useful in tests).
+    pub fn apps(&self) -> &BTreeMap<AppId, AppRuntime> {
+        &self.apps
+    }
+
+    /// Runs the simulation to completion (all apps finished, the event queue
+    /// drained, or the time cap reached) and returns the report.
+    pub fn run(mut self) -> SimReport {
+        for rt in self.apps.values() {
+            self.events.push(rt.spec.arrival, EventKind::AppArrival(rt.id()));
+        }
+
+        while let Some(event) = self.events.pop() {
+            if event.time > self.config.max_sim_time {
+                self.advance_to(self.config.max_sim_time);
+                break;
+            }
+            // A firing projection is consumed; a fresh one will be pushed if
+            // the job is still running after this round.
+            if let EventKind::JobFinish(app, job) = event.kind {
+                self.scheduled_finish.remove(&(app, job));
+            }
+            self.advance_to(event.time);
+            self.process_round();
+            if self.apps.values().all(|a| a.is_finished()) {
+                break;
+            }
+        }
+
+        // Final bookkeeping so completion metrics reflect the end state.
+        for rt in self.apps.values_mut() {
+            rt.try_finish(self.now);
+        }
+        SimReport::from_apps(
+            self.scheduler.name(),
+            &self.apps,
+            self.now,
+            self.peak_contention,
+            self.scheduling_rounds,
+        )
+    }
+
+    /// Advances training progress of every running job to time `t`.
+    fn advance_to(&mut self, t: Time) {
+        let dt = t - self.now;
+        if dt > Time::ZERO {
+            for rt in self.apps.values_mut() {
+                if rt.has_arrived(t) && !rt.is_finished() {
+                    // Only advance from the later of `now` and the app's
+                    // arrival (an app arriving mid-interval has nothing to
+                    // advance before its arrival anyway — it holds no GPUs).
+                    let from = self.now.max(rt.spec.arrival);
+                    let span = t - from;
+                    if span > Time::ZERO {
+                        rt.advance(&self.cluster, from, span);
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// One full post-event processing + scheduling round.
+    fn process_round(&mut self) {
+        let now = self.now;
+
+        // 1. Reclaim expired leases, remembering what each job held so that
+        //    an immediate re-grant of the same GPUs (a lease renewal) does
+        //    not pay the checkpoint penalty.
+        let mut held_before: BTreeMap<(AppId, JobId), BTreeSet<themis_cluster::ids::GpuId>> =
+            BTreeMap::new();
+        for (app_id, rt) in &self.apps {
+            if !rt.has_arrived(now) {
+                continue;
+            }
+            for (job, alloc) in self.cluster.jobs_of_app(*app_id) {
+                if !alloc.is_empty() {
+                    held_before.insert((*app_id, job), alloc.iter().collect());
+                }
+            }
+        }
+        self.cluster.reclaim_expired_leases(now);
+
+        // 2. Release GPUs of finished jobs, run each app's HPO scheduler,
+        //    release GPUs of killed jobs, and detect app completion.
+        let app_ids: Vec<AppId> = self.apps.keys().copied().collect();
+        for app_id in &app_ids {
+            let arrived = self.apps[app_id].has_arrived(now);
+            if !arrived {
+                continue;
+            }
+            // Finished (converged) jobs give up their GPUs.
+            let finished_jobs: Vec<JobId> = {
+                let rt = &self.apps[app_id];
+                rt.spec
+                    .jobs
+                    .iter()
+                    .filter(|j| rt.progress[&j.id].is_finished(j))
+                    .map(|j| j.id)
+                    .collect()
+            };
+            for job in finished_jobs {
+                self.cluster.release_job(*app_id, job);
+            }
+            // HPO decisions (kills, priority changes).
+            if !self.apps[app_id].is_finished() {
+                let killed = self
+                    .apps
+                    .get_mut(app_id)
+                    .expect("app exists")
+                    .run_hpo(now);
+                for job in killed {
+                    self.cluster.release_job(*app_id, job);
+                }
+            }
+            let rt = self.apps.get_mut(app_id).expect("app exists");
+            if rt.try_finish(now) {
+                // Defensive: an app that finished must hold no GPUs.
+                self.cluster.release_app(*app_id);
+                rt.record_gpu_count(now, 0);
+            }
+        }
+
+        // 3. Track contention.
+        let demand: usize = self
+            .apps
+            .values()
+            .filter(|a| a.is_schedulable(now))
+            .map(|a| a.total_demand())
+            .sum();
+        let contention = demand as f64 / self.cluster.total_gpus().max(1) as f64;
+        if contention > self.peak_contention {
+            self.peak_contention = contention;
+        }
+
+        // 4. Run the policy and apply its decisions.
+        let decisions = self.scheduler.schedule(now, &self.cluster, &self.apps);
+        self.scheduling_rounds += 1;
+        let lease_expiry = now + self.config.lease_duration;
+        let mut changed_jobs: BTreeSet<(AppId, JobId)> = BTreeSet::new();
+        let mut new_leases = false;
+        for decision in decisions {
+            let Some(rt) = self.apps.get(&decision.app) else {
+                continue;
+            };
+            if !rt.is_schedulable(now) {
+                continue;
+            }
+            let Some(job_spec) = rt.job_spec(decision.job) else {
+                continue;
+            };
+            if rt.progress[&decision.job].is_finished(job_spec) {
+                continue;
+            }
+            for gpu in decision.gpus {
+                if self
+                    .cluster
+                    .allocate(gpu, decision.app, decision.job, now, lease_expiry)
+                    .is_ok()
+                {
+                    new_leases = true;
+                    changed_jobs.insert((decision.app, decision.job));
+                }
+            }
+        }
+
+        // Renewing exactly the GPUs a job already held is not a placement
+        // change; anything else pays the checkpoint/restart overhead
+        // (provided the job had progressed at all).
+        for (app_id, job_id) in &changed_jobs {
+            let new_set: BTreeSet<_> = self.cluster.gpus_of_job(*app_id, *job_id).iter().collect();
+            let old_set = held_before.get(&(*app_id, *job_id));
+            let is_renewal = old_set.map(|s| *s == new_set).unwrap_or(false);
+            let rt = self.apps.get_mut(app_id).expect("app exists");
+            let had_progress = rt.progress[job_id].iterations_done > 0.0;
+            if !is_renewal && had_progress && self.config.checkpoint_overhead > Time::ZERO {
+                rt.restart_until
+                    .insert(*job_id, now + self.config.checkpoint_overhead);
+            }
+        }
+
+        // 5. Record timelines and enqueue follow-up events.
+        for (app_id, rt) in self.apps.iter_mut() {
+            if rt.has_arrived(now) {
+                let held = self.cluster.gpus_of_app(*app_id).len();
+                rt.record_gpu_count(now, held);
+            }
+        }
+        if new_leases {
+            self.events.push(lease_expiry, EventKind::LeaseExpiry);
+        }
+        // Projected completion events for every job that currently holds
+        // GPUs. Projections are deduplicated: a new event is only pushed
+        // when the projection differs from the last one we enqueued, so the
+        // queue stays linear in the number of real state changes.
+        for (app_id, rt) in &self.apps {
+            if !rt.is_schedulable(now) {
+                continue;
+            }
+            let by_job = self.cluster.jobs_of_app(*app_id);
+            for job_spec in &rt.spec.jobs {
+                let progress = &rt.progress[&job_spec.id];
+                if progress.is_finished(job_spec) {
+                    self.scheduled_finish.remove(&(*app_id, job_spec.id));
+                    continue;
+                }
+                let Some(alloc) = by_job.get(&job_spec.id) else {
+                    self.scheduled_finish.remove(&(*app_id, job_spec.id));
+                    continue;
+                };
+                if alloc.is_empty() {
+                    self.scheduled_finish.remove(&(*app_id, job_spec.id));
+                    continue;
+                }
+                let locality = themis_cluster::placement::spread(alloc, self.cluster.spec());
+                let mut eta = progress.time_to_complete(job_spec, alloc.len(), locality);
+                if let Some(restart) = rt.restart_until.get(&job_spec.id) {
+                    if *restart > now {
+                        eta += *restart - now;
+                    }
+                }
+                if !eta.is_finite() {
+                    continue;
+                }
+                let finish = now + eta;
+                let key = (*app_id, job_spec.id);
+                let already = self.scheduled_finish.get(&key).copied();
+                let needs_push = match already {
+                    // Re-push when the projection moved by more than a
+                    // hundredth of a minute (avoids float-noise churn).
+                    Some(prev) => (prev - finish).as_minutes().abs() > 0.01,
+                    None => true,
+                };
+                if needs_push {
+                    self.scheduled_finish.insert(key, finish);
+                    self.events.push(finish, EventKind::JobFinish(key.0, key.1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{pick_gpus_packed, split_among_jobs, AllocationDecision};
+    use themis_cluster::ids::JobId;
+    use themis_cluster::topology::ClusterSpec;
+    use themis_workload::job::JobSpec;
+    use themis_workload::models::ModelArch;
+    use themis_workload::trace::{TraceConfig, TraceGenerator};
+
+    /// A simple work-conserving FIFO policy used to exercise the engine: it
+    /// walks schedulable apps in arrival order and packs free GPUs onto
+    /// their jobs.
+    struct FifoScheduler;
+
+    impl Scheduler for FifoScheduler {
+        fn name(&self) -> &'static str {
+            "fifo"
+        }
+
+        fn schedule(
+            &mut self,
+            now: Time,
+            cluster: &Cluster,
+            apps: &BTreeMap<AppId, AppRuntime>,
+        ) -> Vec<AllocationDecision> {
+            let mut cluster = cluster.clone();
+            let mut out = Vec::new();
+            let mut order: Vec<&AppRuntime> =
+                apps.values().filter(|a| a.is_schedulable(now)).collect();
+            order.sort_by(|a, b| a.spec.arrival.cmp(&b.spec.arrival).then(a.id().cmp(&b.id())));
+            for app in order {
+                let want = app.unmet_demand(&cluster);
+                if want == 0 {
+                    continue;
+                }
+                let budget = want.min(cluster.free_gpus().len());
+                for (job, count) in split_among_jobs(app, &cluster, budget) {
+                    let prefer = cluster.gpus_of_job(app.id(), job).machines(cluster.spec());
+                    let gpus = pick_gpus_packed(&cluster, count, &prefer);
+                    for gpu in &gpus {
+                        cluster
+                            .allocate(*gpu, app.id(), job, now, Time::INFINITY)
+                            .expect("gpu was free");
+                    }
+                    if !gpus.is_empty() {
+                        out.push(AllocationDecision {
+                            app: app.id(),
+                            job,
+                            gpus,
+                        });
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn single_job_app(id: u32, arrival: f64, iterations: f64, gpus: usize) -> AppSpec {
+        let job = JobSpec::new(
+            JobId(0),
+            ModelArch::ResNet50,
+            iterations,
+            Time::minutes(0.1),
+            gpus,
+        );
+        AppSpec::single_job(AppId(id), Time::minutes(arrival), job)
+    }
+
+    #[test]
+    fn single_app_runs_to_completion() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        // 400 iterations * 0.1 min / 4 GPUs = 10 minutes of ideal time.
+        let trace = vec![single_job_app(0, 0.0, 400.0, 4)];
+        let report = Engine::new(cluster, trace, FifoScheduler, SimConfig::default()).run();
+        assert_eq!(report.finished_apps(), 1);
+        let outcome = &report.apps[0];
+        let ct = outcome.completion_time.unwrap().as_minutes();
+        assert!((ct - 10.0).abs() < 0.5, "completion time {ct} should be ~10min");
+        // Alone on the cluster, rho should be ~1.
+        assert!((outcome.rho.unwrap() - 1.0).abs() < 0.1);
+        // 4 GPUs on one machine (PCIe) scores 0.9 with the default scorer.
+        assert!(outcome.placement_score >= 0.9 - 1e-9);
+    }
+
+    #[test]
+    fn two_apps_contend_for_gpus() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        let trace = vec![
+            single_job_app(0, 0.0, 400.0, 4),
+            single_job_app(1, 0.0, 400.0, 4),
+        ];
+        let report = Engine::new(
+            cluster,
+            trace,
+            FifoScheduler,
+            SimConfig::default().with_checkpoint_overhead(Time::ZERO),
+        )
+        .run();
+        assert_eq!(report.finished_apps(), 2);
+        // With FIFO, app 0 runs first (≈10 min), app 1 waits for the lease
+        // to expire before getting the GPUs, so it finishes much later.
+        let rho1 = report.apps[1].rho.unwrap();
+        assert!(rho1 > 1.5, "second app must be delayed, rho = {rho1}");
+        assert!(report.peak_contention >= 2.0);
+        assert!(report.total_gpu_time.as_minutes() > 0.0);
+    }
+
+    #[test]
+    fn late_arrivals_are_not_scheduled_early() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        let trace = vec![single_job_app(0, 30.0, 100.0, 2)];
+        let report = Engine::new(cluster, trace, FifoScheduler, SimConfig::default()).run();
+        let outcome = &report.apps[0];
+        assert!(outcome.finished_at.unwrap() >= Time::minutes(30.0));
+        // Completion time counts from arrival, not from t=0.
+        assert!(outcome.completion_time.unwrap().as_minutes() < 20.0);
+    }
+
+    #[test]
+    fn max_sim_time_caps_the_run() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 1));
+        // One enormous job that cannot finish within the cap.
+        let trace = vec![single_job_app(0, 0.0, 1e9, 1)];
+        let report = Engine::new(
+            cluster,
+            trace,
+            FifoScheduler,
+            SimConfig::default().with_max_sim_time(Time::minutes(100.0)),
+        )
+        .run();
+        assert_eq!(report.finished_apps(), 0);
+        assert_eq!(report.unfinished_apps(), 1);
+        assert!(report.end_time <= Time::minutes(100.0) + Time::minutes(1e-6));
+    }
+
+    #[test]
+    fn multi_job_apps_finish_via_hyperband() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i),
+                    ModelArch::ResNet50,
+                    400.0 + 100.0 * i as f64,
+                    Time::minutes(0.1),
+                    2,
+                )
+            })
+            .collect();
+        let trace = vec![AppSpec::new(AppId(0), Time::ZERO, jobs)];
+        let report = Engine::new(cluster, trace, FifoScheduler, SimConfig::default()).run();
+        assert_eq!(report.finished_apps(), 1);
+        // The app must finish no later than its longest job would take alone.
+        let ct = report.apps[0].completion_time.unwrap().as_minutes();
+        assert!(ct < 700.0 * 0.1 / 2.0 * 4.0, "completion time {ct}");
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let run = || {
+            let cluster = Cluster::new(ClusterSpec::heterogeneous_256());
+            let trace = TraceGenerator::new(
+                TraceConfig::default()
+                    .with_num_apps(10)
+                    .with_seed(3),
+            )
+            .generate();
+            Engine::new(cluster, trace, FifoScheduler, SimConfig::default()).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_trace_completes_on_large_cluster() {
+        let cluster = Cluster::new(ClusterSpec::heterogeneous_256());
+        let trace = TraceGenerator::new(
+            TraceConfig::default()
+                .with_num_apps(8)
+                .with_seed(11),
+        )
+        .generate();
+        let report = Engine::new(
+            cluster,
+            trace,
+            FifoScheduler,
+            SimConfig::default().with_max_sim_time(Time::minutes(200_000.0)),
+        )
+        .run();
+        assert_eq!(report.unfinished_apps(), 0, "all apps should finish");
+        assert!(report.max_fairness().unwrap() >= 1.0 - 1e-9);
+        assert!(report.scheduling_rounds > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # themis-sim
+//!
+//! Event-driven GPU-cluster simulator for the Themis reproduction
+//! (NSDI 2020).
+//!
+//! The paper evaluates scheduling policies with an event-based simulator
+//! replaying an enterprise trace over a 256-GPU cluster (§8.1). This crate
+//! is that simulator:
+//!
+//! * [`events`] — the deterministic event queue (app arrivals, lease
+//!   expiries, projected job completions),
+//! * [`app_runtime`] — the mutable per-app state (job progress, the app's
+//!   own hyper-parameter scheduler, attained service, placement samples),
+//! * [`scheduler`] — the [`scheduler::Scheduler`] trait every policy
+//!   (Themis and the baselines) implements, plus shared placement helpers,
+//! * [`engine`] — the simulation loop itself,
+//! * [`metrics`] — the evaluation metrics the paper reports: finish-time
+//!   fairness ρ, max fairness, Jain's index, placement score, GPU time and
+//!   app completion times.
+//!
+//! The simulator is single-threaded and fully deterministic: identical
+//! inputs (trace, cluster, scheduler, config) produce identical reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app_runtime;
+pub mod engine;
+pub mod events;
+pub mod metrics;
+pub mod scheduler;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::app_runtime::AppRuntime;
+    pub use crate::engine::{Engine, SimConfig};
+    pub use crate::metrics::{AppOutcome, SimReport};
+    pub use crate::scheduler::{pick_gpus_packed, split_among_jobs, AllocationDecision, Scheduler};
+}
+
+pub use prelude::*;

@@ -1,0 +1,46 @@
+//! # themis-workload
+//!
+//! ML workload substrate for the Themis scheduler reproduction (NSDI 2020).
+//!
+//! The paper evaluates Themis on a workload replayed from a production trace
+//! of hyper-parameter exploration apps. That trace is proprietary, so this
+//! crate provides:
+//!
+//! * a **model zoo** ([`models`]) of the architectures the paper profiles
+//!   (VGG16/19, AlexNet, Inception-v3, ResNet50) with per-model placement
+//!   sensitivity profiles calibrated against Figure 2,
+//! * the analytic **placement sensitivity** model `S` used by the paper's
+//!   Agent: iteration time scales as `serial_time / (G · S(placement))`
+//!   ([`sensitivity`]),
+//! * **loss-curve** models that stand in for real training convergence so
+//!   that hyper-parameter tuning frameworks can classify and kill jobs
+//!   ([`loss`]),
+//! * the **job** and **app** abstractions (a job = one hyper-parameter
+//!   configuration trained with synchronous SGD; an app = a set of related
+//!   jobs owned by one user) ([`job`], [`app`]),
+//! * a seeded, deterministic **trace generator** reproducing every
+//!   statistic the paper reports about its enterprise trace ([`trace`]),
+//!   plus the underlying samplers ([`distributions`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod distributions;
+pub mod job;
+pub mod loss;
+pub mod models;
+pub mod sensitivity;
+pub mod trace;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::app::AppSpec;
+    pub use crate::job::{JobProgress, JobSpec};
+    pub use crate::loss::LossCurve;
+    pub use crate::models::ModelArch;
+    pub use crate::sensitivity::PlacementSensitivity;
+    pub use crate::trace::{TraceConfig, TraceGenerator};
+}
+
+pub use prelude::*;
