@@ -60,7 +60,11 @@ impl Scheduler for Drf {
                 .filter(|(id, _)| {
                     apps[id].unmet_demand(&shadow) > granted.get(id).copied().unwrap_or(0)
                 })
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares").then(a.0.cmp(b.0)))
+                .min_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .expect("finite shares")
+                        .then(a.0.cmp(b.0))
+                })
                 .map(|(id, _)| *id);
             let Some(app_id) = candidate else { break };
             free.remove(0);
@@ -103,7 +107,13 @@ mod tests {
     use themis_workload::models::ModelArch;
 
     fn app(id: u32, gpus: usize) -> AppRuntime {
-        let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), gpus);
+        let job = JobSpec::new(
+            JobId(0),
+            ModelArch::ResNet50,
+            1000.0,
+            Time::minutes(0.1),
+            gpus,
+        );
         AppRuntime::with_default_hpo(AppSpec::single_job(AppId(id), Time::ZERO, job))
     }
 
@@ -139,7 +149,10 @@ mod tests {
             .filter(|d| d.app == AppId(1))
             .map(|d| d.gpus.len())
             .sum();
-        assert_eq!(to_app1, 4, "the app with the smaller dominant share is served first");
+        assert_eq!(
+            to_app1, 4,
+            "the app with the smaller dominant share is served first"
+        );
     }
 
     #[test]

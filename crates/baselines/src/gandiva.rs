@@ -130,7 +130,13 @@ mod tests {
     use themis_workload::models::ModelArch;
 
     fn app(id: u32, gpus: usize, model: ModelArch) -> AppRuntime {
-        let mut job = JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), gpus);
+        let mut job = JobSpec::new(
+            JobId(0),
+            ModelArch::ResNet50,
+            1000.0,
+            Time::minutes(0.1),
+            gpus,
+        );
         job.model = model;
         AppRuntime::with_default_hpo(AppSpec::single_job(AppId(id), Time::ZERO, job))
     }
@@ -173,6 +179,8 @@ mod tests {
     fn no_demand_means_no_decisions() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
         let apps: BTreeMap<AppId, AppRuntime> = BTreeMap::new();
-        assert!(Gandiva::new().schedule(Time::ZERO, &cluster, &apps).is_empty());
+        assert!(Gandiva::new()
+            .schedule(Time::ZERO, &cluster, &apps)
+            .is_empty());
     }
 }

@@ -160,8 +160,7 @@ mod tests {
             scale: 2.0,
             exponent,
         };
-        let mut rt =
-            AppRuntime::with_default_hpo(AppSpec::single_job(AppId(id), Time::ZERO, job));
+        let mut rt = AppRuntime::with_default_hpo(AppSpec::single_job(AppId(id), Time::ZERO, job));
         rt.progress.get_mut(&JobId(0)).unwrap().iterations_done = iterations_done;
         rt
     }

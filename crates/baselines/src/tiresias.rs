@@ -43,10 +43,7 @@ impl Scheduler for Tiresias {
         }
         // Apps ordered by least attained GPU service; ties broken by
         // arrival then id for determinism.
-        let mut order: Vec<&AppRuntime> = apps
-            .values()
-            .filter(|a| a.is_schedulable(now))
-            .collect();
+        let mut order: Vec<&AppRuntime> = apps.values().filter(|a| a.is_schedulable(now)).collect();
         order.sort_by(|a, b| {
             a.attained_service
                 .cmp(&b.attained_service)
@@ -97,7 +94,13 @@ mod tests {
     use themis_workload::models::ModelArch;
 
     fn app(id: u32, gpus: usize) -> AppRuntime {
-        let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), gpus);
+        let job = JobSpec::new(
+            JobId(0),
+            ModelArch::ResNet50,
+            1000.0,
+            Time::minutes(0.1),
+            gpus,
+        );
         AppRuntime::with_default_hpo(AppSpec::single_job(AppId(id), Time::ZERO, job))
     }
 
@@ -147,11 +150,8 @@ mod tests {
     fn ignores_unarrived_and_finished_apps() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
         let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), 4);
-        let late = AppRuntime::with_default_hpo(AppSpec::single_job(
-            AppId(0),
-            Time::minutes(100.0),
-            job,
-        ));
+        let late =
+            AppRuntime::with_default_hpo(AppSpec::single_job(AppId(0), Time::minutes(100.0), job));
         let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), late)].into();
         assert!(Tiresias::new()
             .schedule(Time::ZERO, &cluster, &apps)

@@ -52,7 +52,11 @@ fn bench_partial_allocation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bidding_apps", num_apps),
             &num_apps,
-            |b, _| b.iter(|| partial_allocation(std::hint::black_box(&bids), std::hint::black_box(&off))),
+            |b, _| {
+                b.iter(|| {
+                    partial_allocation(std::hint::black_box(&bids), std::hint::black_box(&off))
+                })
+            },
         );
     }
     for &gpus in &[16usize, 64, 128, 256] {

@@ -29,12 +29,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             |b, policy| {
                 b.iter(|| {
                     let cluster = Cluster::new(ClusterSpec::testbed_50());
-                    let trace = TraceGenerator::new(
-                        TraceConfig::testbed().with_num_apps(6).with_seed(1),
-                    )
-                    .generate();
-                    let sim = SimConfig::default()
-                        .with_max_sim_time(Time::minutes(500_000.0));
+                    let trace =
+                        TraceGenerator::new(TraceConfig::testbed().with_num_apps(6).with_seed(1))
+                            .generate();
+                    let sim = SimConfig::default().with_max_sim_time(Time::minutes(500_000.0));
                     Engine::new(cluster, trace, policy.build(), sim).run()
                 })
             },
@@ -51,7 +49,7 @@ fn bench_hidden_payment_ablation(c: &mut Criterion) {
         .map(|i| {
             let mut t = BidTable::empty(AppId(i), 30.0 + i as f64);
             for k in 1..=8usize {
-                let mut counts = vec![0usize; 4];
+                let mut counts = [0usize; 4];
                 for j in 0..k {
                     counts[j % 4] += 1;
                 }
@@ -68,10 +66,22 @@ fn bench_hidden_payment_ablation(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("with_hidden_payments", |b| {
-        b.iter(|| partial_allocation_with(std::hint::black_box(&bids), std::hint::black_box(&offer), true))
+        b.iter(|| {
+            partial_allocation_with(
+                std::hint::black_box(&bids),
+                std::hint::black_box(&offer),
+                true,
+            )
+        })
     });
     group.bench_function("without_hidden_payments", |b| {
-        b.iter(|| partial_allocation_with(std::hint::black_box(&bids), std::hint::black_box(&offer), false))
+        b.iter(|| {
+            partial_allocation_with(
+                std::hint::black_box(&bids),
+                std::hint::black_box(&offer),
+                false,
+            )
+        })
     });
     group.finish();
 }

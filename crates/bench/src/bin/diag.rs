@@ -3,9 +3,9 @@
 
 use themis_bench::experiments::{run_policy, Scale};
 use themis_bench::policies::Policy;
+use themis_cluster::time::Time;
 use themis_cluster::topology::ClusterSpec;
 use themis_sim::engine::SimConfig;
-use themis_cluster::time::Time;
 use themis_workload::trace::{TraceConfig, TraceGenerator};
 
 fn main() {
@@ -49,7 +49,9 @@ fn main() {
                 "  app {} rho {:>8.1} ct {:>8.1} ideal {:>6.1} service {:>8.0} placement {:.2}",
                 a.app.0,
                 a.rho.unwrap_or(f64::NAN),
-                a.completion_time.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+                a.completion_time
+                    .map(|t| t.as_minutes())
+                    .unwrap_or(f64::NAN),
                 a.ideal_running_time.as_minutes(),
                 a.attained_service.as_minutes(),
                 a.placement_score

@@ -24,18 +24,18 @@ fn main() {
         match arg.as_str() {
             "--tiny" => scale = Scale::tiny(),
             "--apps" => {
-                let n = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--apps needs a number");
+                let n = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --apps needs a number");
+                    std::process::exit(2);
+                });
                 scale.sim_apps = n;
                 scale.testbed_apps = n;
             }
             "--seed" => {
-                scale.seed = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number");
+                scale.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --seed needs a number");
+                    std::process::exit(2);
+                });
             }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),

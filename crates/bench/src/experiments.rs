@@ -46,7 +46,11 @@ impl Table {
 
     /// Appends a row.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -404,7 +408,11 @@ pub fn fig8() -> Table {
             ]);
         }
         if let Some(finish) = outcome.finished_at {
-            table.push_row(vec![label.to_string(), fmt(finish.as_minutes()), "0".to_string()]);
+            table.push_row(vec![
+                label.to_string(),
+                fmt(finish.as_minutes()),
+                "0".to_string(),
+            ]);
         }
     }
     table
@@ -442,7 +450,12 @@ pub fn fig9a(scale: Scale) -> Table {
     let mut table = Table::new(
         "fig9a",
         "Max-fairness improvement of Themis over Tiresias vs % network-intensive apps",
-        &["pct_network_intensive", "themis_max_rho", "tiresias_max_rho", "improvement_factor"],
+        &[
+            "pct_network_intensive",
+            "themis_max_rho",
+            "tiresias_max_rho",
+            "improvement_factor",
+        ],
     );
     for pct in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let find = |name: &str| {
@@ -471,7 +484,13 @@ pub fn fig9b(scale: Scale) -> Table {
     let mut table = Table::new(
         "fig9b",
         "GPU time (minutes) vs % network-intensive apps",
-        &["pct_network_intensive", "themis", "gandiva", "slaq", "tiresias"],
+        &[
+            "pct_network_intensive",
+            "themis",
+            "gandiva",
+            "slaq",
+            "tiresias",
+        ],
     );
     for pct in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let find = |name: &str| {
@@ -592,7 +611,9 @@ mod tests {
         let table = fig1(Scale::tiny());
         assert_eq!(table.headers.len(), 2);
         assert!(!table.rows.is_empty());
-        let last = table.cell_f64(table.rows.len() - 1, "fraction_of_tasks").unwrap();
+        let last = table
+            .cell_f64(table.rows.len() - 1, "fraction_of_tasks")
+            .unwrap();
         assert!((last - 1.0).abs() < 1e-9);
     }
 

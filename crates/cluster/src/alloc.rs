@@ -219,7 +219,10 @@ impl FreeVector {
     /// Scales every machine count by `factor`, rounding down.
     /// Used by the partial-allocation mechanism's hidden payment (§5.1).
     pub fn scale_floor(&self, factor: f64) -> FreeVector {
-        assert!((0.0..=1.0).contains(&factor), "scale factor must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "scale factor must be in [0,1]"
+        );
         FreeVector::from_counts(
             self.iter()
                 .map(|(m, c)| (m, ((c as f64) * factor).floor() as usize)),

@@ -306,15 +306,27 @@ mod tests {
     #[test]
     fn allocate_and_release() {
         let mut c = cluster();
-        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
+        c.allocate(
+            GpuId(0),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
         assert_eq!(c.allocated_gpus(), 1);
         assert_eq!(c.assignment(GpuId(0)).unwrap().app, AppId(1));
         assert_eq!(c.free_vector().on_machine(MachineId(0)), 3);
 
         // Double allocation fails.
         let err = c
-            .allocate(GpuId(0), AppId(2), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .allocate(
+                GpuId(0),
+                AppId(2),
+                JobId(0),
+                Time::ZERO,
+                Time::minutes(20.0),
+            )
             .unwrap_err();
         assert!(matches!(err, ClusterError::GpuBusy { .. }));
 
@@ -327,7 +339,13 @@ mod tests {
     fn allocate_unknown_gpu_fails() {
         let mut c = cluster();
         let err = c
-            .allocate(GpuId(99), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
+            .allocate(
+                GpuId(99),
+                AppId(1),
+                JobId(0),
+                Time::ZERO,
+                Time::minutes(20.0),
+            )
             .unwrap_err();
         assert!(matches!(err, ClusterError::UnknownGpu { .. }));
     }
@@ -336,24 +354,53 @@ mod tests {
     fn allocate_on_machine_packs_in_order() {
         let mut c = cluster();
         let gpus = c
-            .allocate_on_machine(MachineId(1), 3, AppId(7), JobId(2), Time::ZERO, Time::minutes(20.0))
+            .allocate_on_machine(
+                MachineId(1),
+                3,
+                AppId(7),
+                JobId(2),
+                Time::ZERO,
+                Time::minutes(20.0),
+            )
             .unwrap();
         assert_eq!(gpus, vec![GpuId(4), GpuId(5), GpuId(6)]);
         assert_eq!(c.gpus_of_job(AppId(7), JobId(2)).len(), 3);
         // Requesting more than available fails.
         let err = c
-            .allocate_on_machine(MachineId(1), 2, AppId(7), JobId(2), Time::ZERO, Time::minutes(20.0))
+            .allocate_on_machine(
+                MachineId(1),
+                2,
+                AppId(7),
+                JobId(2),
+                Time::ZERO,
+                Time::minutes(20.0),
+            )
             .unwrap_err();
-        assert!(matches!(err, ClusterError::InsufficientCapacity { available: 1, .. }));
+        assert!(matches!(
+            err,
+            ClusterError::InsufficientCapacity { available: 1, .. }
+        ));
     }
 
     #[test]
     fn lease_expiry_reclaims_gpus() {
         let mut c = cluster();
-        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
-        c.allocate(GpuId(1), AppId(1), JobId(0), Time::ZERO, Time::minutes(40.0))
-            .unwrap();
+        c.allocate(
+            GpuId(0),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
+        c.allocate(
+            GpuId(1),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(40.0),
+        )
+        .unwrap();
         assert_eq!(c.next_lease_expiry(), Some(Time::minutes(20.0)));
         let reclaimed = c.reclaim_expired_leases(Time::minutes(25.0));
         assert_eq!(reclaimed.len(), 1);
@@ -365,11 +412,23 @@ mod tests {
     fn release_app_and_job() {
         let mut c = cluster();
         for (gpu, job) in [(0u32, 0u32), (1, 0), (2, 1)] {
-            c.allocate(GpuId(gpu), AppId(1), JobId(job), Time::ZERO, Time::minutes(20.0))
-                .unwrap();
-        }
-        c.allocate(GpuId(3), AppId(2), JobId(0), Time::ZERO, Time::minutes(20.0))
+            c.allocate(
+                GpuId(gpu),
+                AppId(1),
+                JobId(job),
+                Time::ZERO,
+                Time::minutes(20.0),
+            )
             .unwrap();
+        }
+        c.allocate(
+            GpuId(3),
+            AppId(2),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
         assert_eq!(c.gpus_of_app(AppId(1)).len(), 3);
         let freed = c.release_job(AppId(1), JobId(0));
         assert_eq!(freed.len(), 2);
@@ -381,10 +440,22 @@ mod tests {
     #[test]
     fn extend_app_leases() {
         let mut c = cluster();
-        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
-        c.allocate(GpuId(1), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
+        c.allocate(
+            GpuId(0),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
+        c.allocate(
+            GpuId(1),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
         assert_eq!(c.extend_app_leases(AppId(1), Time::minutes(60.0)), 2);
         assert_eq!(c.next_lease_expiry(), Some(Time::minutes(60.0)));
     }
@@ -392,10 +463,22 @@ mod tests {
     #[test]
     fn placement_queries() {
         let mut c = cluster();
-        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
-        c.allocate(GpuId(4), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
+        c.allocate(
+            GpuId(0),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
+        c.allocate(
+            GpuId(4),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
         assert_eq!(c.job_locality(AppId(1), JobId(0)), Locality::Rack);
         assert!(c.job_placement_score(AppId(1), JobId(0)) < 1.0);
     }
@@ -403,12 +486,30 @@ mod tests {
     #[test]
     fn apps_with_gpus_counts() {
         let mut c = cluster();
-        c.allocate(GpuId(0), AppId(1), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
-        c.allocate(GpuId(1), AppId(2), JobId(0), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
-        c.allocate(GpuId(2), AppId(2), JobId(1), Time::ZERO, Time::minutes(20.0))
-            .unwrap();
+        c.allocate(
+            GpuId(0),
+            AppId(1),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
+        c.allocate(
+            GpuId(1),
+            AppId(2),
+            JobId(0),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
+        c.allocate(
+            GpuId(2),
+            AppId(2),
+            JobId(1),
+            Time::ZERO,
+            Time::minutes(20.0),
+        )
+        .unwrap();
         let counts = c.apps_with_gpus();
         assert_eq!(counts[&AppId(1)], 1);
         assert_eq!(counts[&AppId(2)], 2);

@@ -112,7 +112,11 @@ impl LeaseTable {
 
     /// All leases held by one app.
     pub fn leases_of_app(&self, app: AppId) -> Vec<Lease> {
-        self.leases.values().filter(|l| l.app == app).copied().collect()
+        self.leases
+            .values()
+            .filter(|l| l.app == app)
+            .copied()
+            .collect()
     }
 
     /// Iterates over all active leases in GPU order.
@@ -176,7 +180,10 @@ mod tests {
         table.grant(lease(0, 1, 0.0, 20.0));
         assert!(table.extend(GpuId(0), Time::minutes(50.0)));
         assert!(!table.extend(GpuId(9), Time::minutes(50.0)));
-        assert_eq!(table.lease(GpuId(0)).unwrap().expires_at, Time::minutes(50.0));
+        assert_eq!(
+            table.lease(GpuId(0)).unwrap().expires_at,
+            Time::minutes(50.0)
+        );
     }
 
     #[test]

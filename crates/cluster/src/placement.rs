@@ -124,7 +124,11 @@ impl PlacementScorer {
     /// Panics unless `1 >= slot >= machine >= rack >= cross_rack > 0`.
     pub fn new(slot: f64, machine: f64, rack: f64, cross_rack: f64) -> Self {
         assert!(
-            slot <= 1.0 && slot >= machine && machine >= rack && rack >= cross_rack && cross_rack > 0.0,
+            slot <= 1.0
+                && slot >= machine
+                && machine >= rack
+                && rack >= cross_rack
+                && cross_rack > 0.0,
             "placement scores must be monotonically non-increasing in (0, 1]"
         );
         PlacementScorer {

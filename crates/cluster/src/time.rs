@@ -186,7 +186,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = vec![Time::minutes(5.0), Time::ZERO, Time::INFINITY, Time::minutes(1.0)];
+        let mut times = [
+            Time::minutes(5.0),
+            Time::ZERO,
+            Time::INFINITY,
+            Time::minutes(1.0),
+        ];
         times.sort();
         assert_eq!(times[0], Time::ZERO);
         assert_eq!(times[3], Time::INFINITY);

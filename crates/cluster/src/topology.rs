@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// The hardware model of a GPU. Only used for reporting and for modelling
 /// heterogeneous clusters; the scheduler treats all GPUs of a machine as
 /// interchangeable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum GpuModel {
     /// NVIDIA Tesla K80 (used in the paper's NC-series testbed instances).
     TeslaK80,
@@ -28,13 +28,8 @@ pub enum GpuModel {
     /// NVIDIA Tesla V100.
     TeslaV100,
     /// A generic GPU when the model does not matter.
+    #[default]
     Generic,
-}
-
-impl Default for GpuModel {
-    fn default() -> Self {
-        GpuModel::Generic
-    }
 }
 
 /// Description of a single machine: how many GPUs it has, how they are
@@ -182,7 +177,11 @@ impl ClusterSpec {
     /// A homogeneous cluster: `racks` racks of `machines_per_rack` machines
     /// with `gpus_per_machine` GPUs each. Useful for unit tests and
     /// micro-benchmarks.
-    pub fn homogeneous(racks: usize, machines_per_rack: usize, gpus_per_machine: usize) -> ClusterSpec {
+    pub fn homogeneous(
+        racks: usize,
+        machines_per_rack: usize,
+        gpus_per_machine: usize,
+    ) -> ClusterSpec {
         let mut b = ClusterSpec::builder();
         for _ in 0..racks {
             b = b.rack(|r| r.machines(machines_per_rack, gpus_per_machine));
@@ -227,7 +226,7 @@ impl ClusterSpecBuilder {
                             id
                         })
                         .collect();
-                    gpu_to_machine.extend(std::iter::repeat(machine_id).take(gpus.len()));
+                    gpu_to_machine.extend(std::iter::repeat_n(machine_id, gpus.len()));
                     machines.push(MachineSpec {
                         id: machine_id,
                         rack: rack_id,

@@ -115,10 +115,8 @@ impl Arbiter {
     /// the worst (highest) ρ among those that can actually use more GPUs.
     /// At least one app participates whenever any app has unmet demand.
     pub fn select_participants(&self, statuses: &[AppStatus]) -> Vec<AppId> {
-        let mut candidates: Vec<&AppStatus> = statuses
-            .iter()
-            .filter(|s| s.unmet_demand > 0)
-            .collect();
+        let mut candidates: Vec<&AppStatus> =
+            statuses.iter().filter(|s| s.unmet_demand > 0).collect();
         if candidates.is_empty() {
             return Vec::new();
         }
@@ -129,8 +127,8 @@ impl Arbiter {
                 .then(a.app.cmp(&b.app))
         });
         let fraction = 1.0 - self.config.fairness_knob;
-        let count = ((candidates.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, candidates.len());
+        let count =
+            ((candidates.len() as f64 * fraction).ceil() as usize).clamp(1, candidates.len());
         candidates.into_iter().take(count).map(|s| s.app).collect()
     }
 
@@ -224,7 +222,8 @@ impl Arbiter {
         };
 
         // Candidate tiers, best first.
-        let tiers: [Box<dyn Fn(&AppId) -> bool>; 4] = [
+        type Tier<'a> = Box<dyn Fn(&AppId) -> bool + 'a>;
+        let tiers: [Tier<'_>; 4] = [
             Box::new(|a| !participants.contains(a) && wants(a) && on_machine(a)),
             Box::new(|a| !participants.contains(a) && wants(a)),
             Box::new(|a| wants(a) && on_machine(a)),
@@ -339,9 +338,12 @@ mod tests {
         let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
         assert_eq!(outcome.winners[&AppId(0)].total(), 4);
         // Machine 1's two GPUs go to app 1 (footprint match).
-        let grant = outcome.leftover_grants.get(&AppId(1)).expect("app 1 gets leftovers");
+        let grant = outcome
+            .leftover_grants
+            .get(&AppId(1))
+            .expect("app 1 gets leftovers");
         assert_eq!(grant.on_machine(MachineId(1)), 2);
-        assert!(outcome.leftover_grants.get(&AppId(2)).is_none());
+        assert!(!outcome.leftover_grants.contains_key(&AppId(2)));
     }
 
     #[test]

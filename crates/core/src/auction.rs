@@ -277,10 +277,7 @@ fn solve_greedy(bids: &[BidTable], offer: &FreeVector) -> Assignment {
 /// the search space is small enough.
 fn solve(bids: &[BidTable], offer: &FreeVector) -> (Assignment, SolverKind) {
     const EXACT_SEARCH_LIMIT: f64 = 20_000.0;
-    let space: f64 = bids
-        .iter()
-        .map(|t| (t.entries.len() + 1) as f64)
-        .product();
+    let space: f64 = bids.iter().map(|t| (t.entries.len() + 1) as f64).product();
     if space <= EXACT_SEARCH_LIMIT {
         (solve_exact(bids, offer), SolverKind::Exact)
     } else {
@@ -325,8 +322,7 @@ pub fn partial_allocation_with(
 
         let payment_factor = if apply_hidden_payments {
             // Numerator: Π_{j≠i} V_j under the PF assignment with i present.
-            let log_without_i_present = full_log
-                - entry_value(table, Some(entry_idx)).ln();
+            let log_without_i_present = full_log - entry_value(table, Some(entry_idx)).ln();
             // Denominator: Π_{j≠i} V_j under the PF assignment computed
             // without app i participating at all.
             let other_bids: Vec<BidTable> = bids
@@ -417,7 +413,11 @@ mod tests {
         assert_eq!(result.awards.len(), 2);
         for award in &result.awards {
             // No contention on either machine → no hidden payment.
-            assert!((award.payment_factor - 1.0).abs() < 1e-9, "factor {}", award.payment_factor);
+            assert!(
+                (award.payment_factor - 1.0).abs() < 1e-9,
+                "factor {}",
+                award.payment_factor
+            );
             assert_eq!(award.awarded.total(), 4);
         }
         assert_eq!(result.total_awarded(), 8);
@@ -513,16 +513,19 @@ mod tests {
         let bids = vec![scaling_bid(0, 100.0, 0, 4), scaling_bid(1, 10.0, 0, 4)];
         let with = partial_allocation_with(&bids, &offer, true);
         let without = partial_allocation_with(&bids, &offer, false);
-        assert!(without.awards.iter().all(|a| (a.payment_factor - 1.0).abs() < 1e-12));
+        assert!(without
+            .awards
+            .iter()
+            .all(|a| (a.payment_factor - 1.0).abs() < 1e-12));
         assert!(without.total_awarded() >= with.total_awarded());
     }
 
     #[test]
     fn greedy_solver_kicks_in_for_large_instances() {
-        // 40 apps x 15 entries ≫ exact limit.
+        // 40 apps x 4 entries ≫ exact limit.
         let offer = FreeVector::from_counts((0..40u32).map(|m| (MachineId(m), 4)));
         let bids: Vec<BidTable> = (0..40u32)
-            .map(|i| scaling_bid(i, 50.0, i % 40, 15.min(4)))
+            .map(|i| scaling_bid(i, 50.0, i % 40, 4))
             .collect();
         // entries = 4 → space = 5^40, greedy required.
         let result = partial_allocation(&bids, &offer);

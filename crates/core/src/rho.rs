@@ -106,11 +106,7 @@ pub fn greedy_job_distribution(
         .map(|(m, c)| (*m, *c))
         .collect();
     let mut order: Vec<&JobEstimate> = estimates.iter().collect();
-    order.sort_by(|a, b| {
-        a.work_left
-            .cmp(&b.work_left)
-            .then(a.job.cmp(&b.job))
-    });
+    order.sort_by(|a, b| a.work_left.cmp(&b.work_left).then(a.job.cmp(&b.job)));
 
     let mut shares: BTreeMap<JobId, JobShare> = BTreeMap::new();
     for est in order {
@@ -208,7 +204,13 @@ mod tests {
     use themis_cluster::topology::ClusterSpec;
     use themis_workload::models::ModelArch;
 
-    fn est(job: u32, total_min: f64, left_min: f64, max_par: usize, model: ModelArch) -> JobEstimate {
+    fn est(
+        job: u32,
+        total_min: f64,
+        left_min: f64,
+        max_par: usize,
+        model: ModelArch,
+    ) -> JobEstimate {
         JobEstimate {
             job: JobId(job),
             total_work: Time::minutes(total_min),
@@ -256,8 +258,13 @@ mod tests {
     fn spreading_a_sensitive_model_raises_rho() {
         let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::Vgg16)];
         let packed: BTreeMap<MachineId, usize> = [(MachineId(0), 4)].into();
-        let spread: BTreeMap<MachineId, usize> =
-            [(MachineId(0), 1), (MachineId(1), 1), (MachineId(2), 1), (MachineId(3), 1)].into();
+        let spread: BTreeMap<MachineId, usize> = [
+            (MachineId(0), 1),
+            (MachineId(1), 1),
+            (MachineId(2), 1),
+            (MachineId(3), 1),
+        ]
+        .into();
         let spec = spec();
         let rho_packed = estimate_rho_for_aggregate(&estimates, Time::ZERO, &packed, &spec);
         let rho_spread = estimate_rho_for_aggregate(&estimates, Time::ZERO, &spread, &spec);
@@ -331,8 +338,14 @@ mod tests {
     #[test]
     fn share_locality_levels() {
         let spec = spec();
-        assert_eq!(share_locality(&vec![(MachineId(0), 2)], &spec), Locality::Slot);
-        assert_eq!(share_locality(&vec![(MachineId(0), 4)], &spec), Locality::Machine);
+        assert_eq!(
+            share_locality(&vec![(MachineId(0), 2)], &spec),
+            Locality::Slot
+        );
+        assert_eq!(
+            share_locality(&vec![(MachineId(0), 4)], &spec),
+            Locality::Machine
+        );
         assert_eq!(
             share_locality(&vec![(MachineId(0), 2), (MachineId(1), 2)], &spec),
             Locality::Rack

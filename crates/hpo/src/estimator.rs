@@ -140,7 +140,10 @@ mod tests {
         assert!(est.fitted_curve().is_some());
         let projected = est.projected_total_iterations(&spec).unwrap();
         let rel_err = (projected - spec.total_iterations).abs() / spec.total_iterations;
-        assert!(rel_err < 0.1, "projected {projected} vs 1000, rel err {rel_err}");
+        assert!(
+            rel_err < 0.1,
+            "projected {projected} vs 1000, rel err {rel_err}"
+        );
     }
 
     #[test]

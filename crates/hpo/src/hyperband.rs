@@ -84,7 +84,11 @@ impl HyperBand {
                 (j.id(), projected)
             })
             .collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite projections").then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite projections")
+                .then(a.0.cmp(&b.0))
+        });
         ranked
     }
 }
@@ -119,11 +123,7 @@ impl AppScheduler for HyperBand {
 
         let ranked = self.rank_jobs(jobs);
         let survivors = ((ranked.len() as f64 / self.config.eta).ceil() as usize).max(1);
-        let kill: Vec<JobId> = ranked
-            .iter()
-            .skip(survivors)
-            .map(|(id, _)| *id)
-            .collect();
+        let kill: Vec<JobId> = ranked.iter().skip(survivors).map(|(id, _)| *id).collect();
         self.rungs_completed += 1;
         self.next_rung += self.config.rung_iterations;
         SchedulerUpdate {
@@ -146,7 +146,13 @@ mod tests {
     /// Builds a job whose convergence speed is controlled by `exponent`:
     /// larger exponent = faster convergence = better hyper-parameters.
     fn job(id: u32, exponent: f64) -> (JobSpec, JobProgress) {
-        let mut spec = JobSpec::new(JobId(id), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), 4);
+        let mut spec = JobSpec::new(
+            JobId(id),
+            ModelArch::ResNet50,
+            1000.0,
+            Time::minutes(0.1),
+            4,
+        );
         spec.loss_curve = LossCurve::PowerLaw {
             floor: 0.0,
             scale: 2.0,

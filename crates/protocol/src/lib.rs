@@ -31,7 +31,9 @@ pub mod transport;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::bid::{BidEntry, BidTable};
-    pub use crate::messages::{AgentToArbiter, ArbiterToAgent, OfferMsg, RhoReport, WinNotification};
+    pub use crate::messages::{
+        AgentToArbiter, ArbiterToAgent, OfferMsg, RhoReport, WinNotification,
+    };
     pub use crate::transport::{Endpoint, FaultConfig, InMemoryLink, Transport, TransportError};
 }
 

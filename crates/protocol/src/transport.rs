@@ -257,8 +257,10 @@ mod tests {
 
     #[test]
     fn delay_holds_messages_until_due() {
-        let (a, b) =
-            InMemoryLink::pair::<u32, u32>(FaultConfig::delayed(Time::minutes(5.0)), FaultConfig::reliable());
+        let (a, b) = InMemoryLink::pair::<u32, u32>(
+            FaultConfig::delayed(Time::minutes(5.0)),
+            FaultConfig::reliable(),
+        );
         a.send(Time::minutes(10.0), 1).unwrap();
         assert_eq!(b.try_recv(Time::minutes(12.0)), Err(TransportError::Empty));
         assert_eq!(b.try_recv(Time::minutes(15.0)).unwrap(), 1);
@@ -266,7 +268,8 @@ mod tests {
 
     #[test]
     fn lossy_link_drops_some_messages() {
-        let (a, b) = InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.5, 7), FaultConfig::reliable());
+        let (a, b) =
+            InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.5, 7), FaultConfig::reliable());
         for i in 0..1000 {
             a.send(Time::ZERO, i).unwrap();
         }
@@ -274,7 +277,11 @@ mod tests {
         let stats = a.send_stats();
         assert_eq!(stats.sent + stats.dropped, 1000);
         assert_eq!(stats.sent, received);
-        assert!(stats.dropped > 300 && stats.dropped < 700, "dropped {}", stats.dropped);
+        assert!(
+            stats.dropped > 300 && stats.dropped < 700,
+            "dropped {}",
+            stats.dropped
+        );
     }
 
     #[test]
@@ -302,8 +309,10 @@ mod tests {
     #[test]
     fn fault_injection_is_deterministic_per_seed() {
         let run = |seed| {
-            let (a, b) =
-                InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.3, seed), FaultConfig::reliable());
+            let (a, b) = InMemoryLink::pair::<u32, u32>(
+                FaultConfig::lossy(0.3, seed),
+                FaultConfig::reliable(),
+            );
             for i in 0..100 {
                 a.send(Time::ZERO, i).unwrap();
             }

@@ -353,10 +353,22 @@ mod tests {
         let mut rt = AppRuntime::with_default_hpo(app(2));
         let mut cluster = cluster();
         cluster
-            .allocate(GpuId(0), AppId(0), JobId(0), Time::minutes(10.0), Time::minutes(30.0))
+            .allocate(
+                GpuId(0),
+                AppId(0),
+                JobId(0),
+                Time::minutes(10.0),
+                Time::minutes(30.0),
+            )
             .unwrap();
         cluster
-            .allocate(GpuId(1), AppId(0), JobId(0), Time::minutes(10.0), Time::minutes(30.0))
+            .allocate(
+                GpuId(1),
+                AppId(0),
+                JobId(0),
+                Time::minutes(10.0),
+                Time::minutes(30.0),
+            )
             .unwrap();
         rt.advance(&cluster, Time::minutes(10.0), Time::minutes(5.0));
         assert!(rt.progress[&JobId(0)].iterations_done > 0.0);
@@ -370,7 +382,13 @@ mod tests {
         let mut rt = AppRuntime::with_default_hpo(app(1));
         let mut cluster = cluster();
         cluster
-            .allocate(GpuId(0), AppId(0), JobId(0), Time::minutes(10.0), Time::minutes(30.0))
+            .allocate(
+                GpuId(0),
+                AppId(0),
+                JobId(0),
+                Time::minutes(10.0),
+                Time::minutes(30.0),
+            )
             .unwrap();
         rt.restart_until.insert(JobId(0), Time::minutes(12.0));
         rt.advance(&cluster, Time::minutes(10.0), Time::minutes(2.0));
@@ -388,7 +406,13 @@ mod tests {
         for job in [JobId(0), JobId(1)] {
             for gpu in cluster.free_gpus().into_iter().take(2) {
                 cluster
-                    .allocate(gpu, AppId(0), job, Time::minutes(10.0), Time::minutes(1000.0))
+                    .allocate(
+                        gpu,
+                        AppId(0),
+                        job,
+                        Time::minutes(10.0),
+                        Time::minutes(1000.0),
+                    )
                     .unwrap();
             }
         }

@@ -103,11 +103,17 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(Time::minutes(30.0), EventKind::LeaseExpiry);
         q.push(Time::minutes(10.0), EventKind::AppArrival(AppId(0)));
-        q.push(Time::minutes(20.0), EventKind::JobFinish(AppId(0), JobId(1)));
+        q.push(
+            Time::minutes(20.0),
+            EventKind::JobFinish(AppId(0), JobId(1)),
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(Time::minutes(10.0)));
         assert_eq!(q.pop().unwrap().kind, EventKind::AppArrival(AppId(0)));
-        assert_eq!(q.pop().unwrap().kind, EventKind::JobFinish(AppId(0), JobId(1)));
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::JobFinish(AppId(0), JobId(1))
+        );
         assert_eq!(q.pop().unwrap().kind, EventKind::LeaseExpiry);
         assert!(q.pop().is_none());
         assert!(q.is_empty());

@@ -200,7 +200,13 @@ impl SimReport {
 mod tests {
     use super::*;
 
-    fn outcome(app: u32, rho: Option<f64>, ct: Option<f64>, score: f64, service: f64) -> AppOutcome {
+    fn outcome(
+        app: u32,
+        rho: Option<f64>,
+        ct: Option<f64>,
+        score: f64,
+        service: f64,
+    ) -> AppOutcome {
         AppOutcome {
             app: AppId(app),
             arrival: Time::ZERO,

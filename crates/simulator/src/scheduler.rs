@@ -90,7 +90,11 @@ pub fn pick_gpus_packed(
         .filter(|(_, n)| *n >= count)
         .min_by_key(|(_, n)| *n);
     if let Some((machine, _)) = preferred_fit {
-        return free_by_machine[&machine].iter().take(count).copied().collect();
+        return free_by_machine[&machine]
+            .iter()
+            .take(count)
+            .copied()
+            .collect();
     }
 
     // 2. Best-fit single machine.
@@ -197,7 +201,10 @@ mod tests {
         let c = cluster();
         let gpus = pick_gpus_packed(&c, 4, &BTreeSet::new());
         assert_eq!(gpus.len(), 4);
-        let machines: BTreeSet<_> = gpus.iter().filter_map(|g| c.spec().machine_of(*g)).collect();
+        let machines: BTreeSet<_> = gpus
+            .iter()
+            .filter_map(|g| c.spec().machine_of(*g))
+            .collect();
         assert_eq!(machines.len(), 1, "4 GPUs should fit on one machine");
     }
 

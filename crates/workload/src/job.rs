@@ -191,7 +191,11 @@ impl JobProgress {
         };
         self.iterations_done += done;
         // GPU time accrues on all held GPUs for the full interval the job ran.
-        let active_fraction = if possible > 0.0 { (done / possible).min(1.0) } else { 0.0 };
+        let active_fraction = if possible > 0.0 {
+            (done / possible).min(1.0)
+        } else {
+            0.0
+        };
         self.gpu_time += Time::minutes(dt.as_minutes() * gpus as f64 * active_fraction);
         done
     }
@@ -227,13 +231,7 @@ mod tests {
 
     fn spec() -> JobSpec {
         // 1000 iterations, 0.1 min/iteration serially, up to 4 GPUs.
-        JobSpec::new(
-            JobId(0),
-            ModelArch::ResNet50,
-            1000.0,
-            Time::minutes(0.1),
-            4,
-        )
+        JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), 4)
     }
 
     #[test]
@@ -249,7 +247,10 @@ mod tests {
         let s = spec();
         let rate4 = s.iterations_per_minute(4, Locality::Slot);
         let rate16 = s.iterations_per_minute(16, Locality::Slot);
-        assert_eq!(rate4, rate16, "extra GPUs beyond max_parallelism are wasted");
+        assert_eq!(
+            rate4, rate16,
+            "extra GPUs beyond max_parallelism are wasted"
+        );
     }
 
     #[test]
@@ -258,7 +259,10 @@ mod tests {
         s.model = ModelArch::Vgg16;
         let local = s.time_for_work(s.total_work(), 4, Locality::Machine);
         let spread = s.time_for_work(s.total_work(), 4, Locality::CrossRack);
-        assert!(spread > local * 2.0, "VGG16 across racks should be >2x slower");
+        assert!(
+            spread > local * 2.0,
+            "VGG16 across racks should be >2x slower"
+        );
     }
 
     #[test]
@@ -266,7 +270,10 @@ mod tests {
         let s = spec();
         let mut p = JobProgress::new();
         assert_eq!(p.advance(&s, Time::minutes(10.0), 0, Locality::Slot), 0.0);
-        assert_eq!(s.time_for_work(s.total_work(), 0, Locality::Slot), Time::INFINITY);
+        assert_eq!(
+            s.time_for_work(s.total_work(), 0, Locality::Slot),
+            Time::INFINITY
+        );
         assert_eq!(p.iterations_done, 0.0);
     }
 

@@ -185,7 +185,10 @@ mod tests {
         let target = 0.3;
         let k = curve.iterations_to_target(target).unwrap();
         let loss = curve.loss_at(k);
-        assert!((loss - target).abs() < 1e-9, "loss({k}) = {loss} != {target}");
+        assert!(
+            (loss - target).abs() < 1e-9,
+            "loss({k}) = {loss} != {target}"
+        );
     }
 
     #[test]

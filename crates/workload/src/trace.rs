@@ -193,7 +193,8 @@ impl TraceGenerator {
         // iteration granularity stays roughly constant, then derive the
         // serial iteration time so ideal_time == duration.
         let total_iterations = (duration.as_minutes() * 2.0).max(10.0).round();
-        let serial_iter_time = Time::minutes(duration.as_minutes() * gpus as f64 / total_iterations);
+        let serial_iter_time =
+            Time::minutes(duration.as_minutes() * gpus as f64 / total_iterations);
         // A loss curve consistent with the clairvoyant iteration count: it
         // reaches the target loss exactly at `total_iterations`.
         let target_loss = 0.1f64;

@@ -7,7 +7,7 @@
 //! a small sweep and prints both metrics per `f` — a miniature of
 //! Figures 4a and 4b.
 //!
-//! Run with: `cargo run --release -p themis-core --example fairness_knob`
+//! Run with: `cargo run --release -p themis-bench --example fairness_knob`
 
 use themis_cluster::prelude::*;
 use themis_core::prelude::*;
@@ -17,7 +17,10 @@ use themis_workload::prelude::*;
 fn main() {
     let trace =
         TraceGenerator::new(TraceConfig::testbed().with_num_apps(10).with_seed(3)).generate();
-    println!("{:<6} {:>10} {:>12} {:>14}", "f", "max_rho", "median_rho", "gpu_time_min");
+    println!(
+        "{:<6} {:>10} {:>12} {:>14}",
+        "f", "max_rho", "median_rho", "gpu_time_min"
+    );
 
     for f in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let cluster = Cluster::new(ClusterSpec::testbed_50());
@@ -32,7 +35,11 @@ fn main() {
 
         let mut rhos = report.rhos();
         rhos.sort_by(|a, b| a.partial_cmp(b).expect("finite rho"));
-        let median = if rhos.is_empty() { f64::NAN } else { rhos[rhos.len() / 2] };
+        let median = if rhos.is_empty() {
+            f64::NAN
+        } else {
+            rhos[rhos.len() / 2]
+        };
         println!(
             "{f:<6.1} {:>10.2} {:>12.2} {:>14.0}",
             report.max_fairness().unwrap_or(f64::NAN),

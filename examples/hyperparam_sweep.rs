@@ -5,7 +5,7 @@
 //! shows how the top-level HyperBand scheduler kills poorly-converging
 //! configurations while Themis keeps the cluster shared fairly.
 //!
-//! Run with: `cargo run -p themis-core --example hyperparam_sweep`
+//! Run with: `cargo run -p themis-bench --example hyperparam_sweep`
 
 use themis_cluster::prelude::*;
 use themis_core::prelude::*;

@@ -5,7 +5,7 @@
 //! the worst-off apps, collect bids, run the partial-allocation auction,
 //! and hand out the winning GPUs.
 //!
-//! Run with: `cargo run -p themis-core --example quickstart`
+//! Run with: `cargo run -p themis-bench --example quickstart`
 
 use themis_cluster::prelude::*;
 use themis_core::agent::Agent;
@@ -29,7 +29,7 @@ fn main() {
     let mut vgg_job = JobSpec::new(JobId(0), ModelArch::Vgg16, 2000.0, Time::minutes(0.05), 4);
     vgg_job.gpus_per_task = 4;
     let resnet_job = JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), 4);
-    let apps = vec![
+    let apps = [
         AppRuntime::with_default_hpo(AppSpec::single_job(AppId(0), Time::ZERO, vgg_job)),
         AppRuntime::with_default_hpo(AppSpec::single_job(AppId(1), Time::ZERO, resnet_job)),
     ];
@@ -82,7 +82,11 @@ fn main() {
     // Step 5: run the partial-allocation auction and report the winners.
     let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
     for (app, grant) in outcome.all_grants() {
-        println!("{app} wins {} GPUs: {:?}", grant.total(), grant.iter().collect::<Vec<_>>());
+        println!(
+            "{app} wins {} GPUs: {:?}",
+            grant.total(),
+            grant.iter().collect::<Vec<_>>()
+        );
     }
     for award in &outcome.auction.awards {
         println!(

@@ -5,7 +5,7 @@
 //! (max finish-time fairness, Jain's index, mean completion time, placement
 //! score and GPU time) side by side — a miniature of Figures 5-7.
 //!
-//! Run with: `cargo run --release -p themis-core --example scheduler_faceoff`
+//! Run with: `cargo run --release -p themis-bench --example scheduler_faceoff`
 
 use themis_baselines::prelude::*;
 use themis_cluster::prelude::*;
@@ -33,7 +33,8 @@ fn run(name: &str, scheduler: Box<dyn Scheduler>, trace: &[AppSpec]) -> SimRepor
 }
 
 fn main() {
-    let trace = TraceGenerator::new(TraceConfig::testbed().with_num_apps(12).with_seed(7)).generate();
+    let trace =
+        TraceGenerator::new(TraceConfig::testbed().with_num_apps(12).with_seed(7)).generate();
     let stats = themis_workload::trace::TraceStats::compute(&trace);
     println!(
         "trace: {} apps, {} jobs, median {} jobs/app, median job duration {:.1} min",
@@ -50,7 +51,7 @@ fn main() {
     let tiresias = run("tiresias", Box::new(Tiresias::new()), &trace);
     run("drf", Box::new(Drf::new()), &trace);
 
-    let improvement = tiresias.max_fairness().unwrap_or(f64::NAN)
-        / themis.max_fairness().unwrap_or(f64::NAN);
+    let improvement =
+        tiresias.max_fairness().unwrap_or(f64::NAN) / themis.max_fairness().unwrap_or(f64::NAN);
     println!("\nThemis improves worst-case finish-time fairness over Tiresias by {improvement:.2}x on this trace");
 }

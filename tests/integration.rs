@@ -14,12 +14,7 @@ use themis_sim::prelude::*;
 use themis_workload::prelude::*;
 
 fn small_trace(apps: usize, seed: u64) -> Vec<AppSpec> {
-    TraceGenerator::new(
-        TraceConfig::testbed()
-            .with_num_apps(apps)
-            .with_seed(seed),
-    )
-    .generate()
+    TraceGenerator::new(TraceConfig::testbed().with_num_apps(apps).with_seed(seed)).generate()
 }
 
 #[test]
@@ -72,7 +67,10 @@ fn gpus_are_never_double_allocated_under_themis() {
     )
     .run();
     assert!(report.finished_apps() > 0);
-    assert!(report.peak_contention > 1.0, "the trace must actually contend");
+    assert!(
+        report.peak_contention > 1.0,
+        "the trace must actually contend"
+    );
 }
 
 #[test]
@@ -107,7 +105,9 @@ fn arbiter_and_agent_talk_over_the_in_memory_transport() {
     let (arbiter_ep, agent_ep) = InMemoryLink::reliable_pair::<ArbiterToAgent, AgentToArbiter>();
 
     // Step 1-2: rho probe.
-    arbiter_ep.send(now, ArbiterToAgent::QueryRho { round: 0 }).unwrap();
+    arbiter_ep
+        .send(now, ArbiterToAgent::QueryRho { round: 0 })
+        .unwrap();
     let msg = agent_ep.try_recv(now).unwrap();
     assert!(matches!(msg, ArbiterToAgent::QueryRho { round: 0 }));
     let rho = agent.current_rho(now, &runtime, &cluster).rho;
@@ -119,7 +119,9 @@ fn arbiter_and_agent_talk_over_the_in_memory_transport() {
 
     // Step 3-4: offer and bid.
     let offer = arbiter.make_offer(now, cluster.free_vector());
-    arbiter_ep.send(now, ArbiterToAgent::Offer(offer.clone())).unwrap();
+    arbiter_ep
+        .send(now, ArbiterToAgent::Offer(offer.clone()))
+        .unwrap();
     let offer_msg = match agent_ep.try_recv(now).unwrap() {
         ArbiterToAgent::Offer(o) => o,
         other => panic!("expected an offer, got {other:?}"),
@@ -150,7 +152,11 @@ fn arbiter_and_agent_talk_over_the_in_memory_transport() {
     let outcome = arbiter.run_auction(&offer.resources, &statuses, &[AppId(0)], &bids);
     let grants = outcome.all_grants();
     let grant = &grants[&AppId(0)];
-    assert_eq!(grant.total(), 4, "the lone app should win the whole machine");
+    assert_eq!(
+        grant.total(),
+        4,
+        "the lone app should win the whole machine"
+    );
     arbiter_ep
         .send(
             now,
@@ -173,7 +179,8 @@ fn arbiter_and_agent_talk_over_the_in_memory_transport() {
 fn lossy_transport_only_degrades_but_never_corrupts() {
     // Bids lost in transit mean the Arbiter simply auctions among fewer
     // participants — drops must never produce phantom messages.
-    let (tx, rx) = InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.4, 3), FaultConfig::reliable());
+    let (tx, rx) =
+        InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(0.4, 3), FaultConfig::reliable());
     for i in 0..200u32 {
         tx.send(Time::ZERO, i).unwrap();
     }

@@ -1,0 +1,23 @@
+//! Offline stub of `serde`.
+//!
+//! Workspace types tag themselves `#[derive(Serialize, Deserialize)]` so the
+//! protocol messages are wire-ready the moment the real `serde` is available,
+//! but nothing in-tree serializes yet. These marker traits are therefore
+//! blanket-implemented for all types, and the derives (re-exported from the
+//! `serde_derive` stub) expand to nothing.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

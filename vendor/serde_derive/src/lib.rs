@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The companion `serde` stub blanket-implements its marker traits for every
+//! type, so these derives only need to exist for `#[derive(Serialize,
+//! Deserialize)]` to parse — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
