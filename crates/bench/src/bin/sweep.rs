@@ -1,0 +1,187 @@
+//! Scenario-matrix sweep runner with machine-readable reports.
+//!
+//! ```text
+//! sweep --list
+//! sweep --matrix smoke --jobs 4 --out sweep.json
+//! sweep --matrix smoke --policy themis,drf
+//! sweep --matrix smoke --jobs 4 --check BENCH_BASELINE.json
+//! sweep --matrix smoke --timings --out sweep-timed.json
+//! ```
+//!
+//! The emitted JSON is canonical: identical for `--jobs 1` and `--jobs N`,
+//! and free of wall-clock fields unless `--timings` is given (timings are
+//! advisory; CI compares metrics only). `--check` diffs the run against a
+//! committed baseline and exits 1 on any divergence beyond `--tolerance`.
+
+use themis_bench::policies::Policy;
+use themis_bench::report::{compare_reports, SweepReport};
+use themis_bench::scenarios::Matrix;
+use themis_bench::sweep::run_sweep_filtered;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--matrix NAME] [--policy A,B,..] [--jobs N] [--out FILE]\n\
+         \x20            [--check BASELINE] [--tolerance T] [--timings] [--list]\n\
+         known matrices: {}\n\
+         known policies: {}",
+        Matrix::NAMED.join(", "),
+        Policy::all()
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(iter: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    iter.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut matrix_name = "smoke".to_string();
+    let mut policy_filter: Option<Vec<Policy>> = None;
+    let mut jobs: usize = 1;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance: f64 = 1e-9;
+    let mut timings = false;
+    let mut list = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--matrix" => matrix_name = arg_value(&mut iter, "--matrix"),
+            "--policy" => {
+                let spec = arg_value(&mut iter, "--policy");
+                let parsed: Vec<Policy> = spec
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        Policy::parse(name).unwrap_or_else(|| {
+                            eprintln!("error: unknown policy '{name}'");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if parsed.is_empty() {
+                    eprintln!("error: --policy needs at least one name");
+                    std::process::exit(2);
+                }
+                policy_filter = Some(parsed);
+            }
+            "--jobs" => {
+                jobs = arg_value(&mut iter, "--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --jobs needs a positive number");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("error: --jobs needs a positive number");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => out = Some(arg_value(&mut iter, "--out")),
+            "--check" => check = Some(arg_value(&mut iter, "--check")),
+            "--tolerance" => {
+                tolerance = arg_value(&mut iter, "--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --tolerance needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--timings" => timings = true,
+            "--list" => list = true,
+            _ => {
+                eprintln!("error: unknown argument '{arg}'");
+                usage();
+            }
+        }
+    }
+
+    if list {
+        for name in Matrix::NAMED {
+            let matrix = Matrix::by_name(name).expect("named matrix exists");
+            println!(
+                "{name}: {} scenarios, {} cells, policies [{}]",
+                matrix.expand().len(),
+                matrix.cells().len(),
+                matrix
+                    .policies
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        return;
+    }
+
+    let Some(matrix) = Matrix::by_name(&matrix_name) else {
+        eprintln!("error: unknown matrix '{matrix_name}'");
+        usage();
+    };
+
+    let report = run_sweep_filtered(&matrix, jobs, policy_filter.as_deref());
+
+    // Advisory timing summary on stderr: never part of the canonical JSON.
+    let slowest = report
+        .cells
+        .iter()
+        .max_by(|a, b| a.wall_clock_ms.total_cmp(&b.wall_clock_ms));
+    eprintln!(
+        "sweep '{}': {} cells, --jobs {jobs}, wall-clock {:.0} ms{}",
+        report.matrix,
+        report.cells.len(),
+        report.total_wall_clock_ms,
+        slowest
+            .map(|c| format!(" (slowest cell {} at {:.0} ms)", c.id, c.wall_clock_ms))
+            .unwrap_or_default()
+    );
+
+    let rendered = if timings {
+        report.to_json(true).to_pretty_string()
+    } else {
+        report.to_canonical_string()
+    };
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = SweepReport::parse_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let diffs = compare_reports(&report, &baseline, tolerance);
+        if diffs.is_empty() {
+            eprintln!(
+                "baseline check passed: {} cells match {baseline_path} (tolerance {tolerance})",
+                report.cells.len()
+            );
+        } else {
+            eprintln!(
+                "baseline check FAILED against {baseline_path}: {} divergence(s)",
+                diffs.len()
+            );
+            for diff in &diffs {
+                eprintln!("  {diff}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,13 +7,21 @@
 //! paper's testbed, but the *shape* — which scheduler wins, by roughly what
 //! factor, and where the crossovers fall — is what `EXPERIMENTS.md` records
 //! and what the assertions in `tests/` check.
+//!
+//! Every simulation-backed figure is a *thin view* over the scenario
+//! subsystem ([`crate::scenarios`]): a figure builds the [`Scenario`] list
+//! for one axis of the paper's evaluation matrix and formats the resulting
+//! [`SimReport`]s. The scenarios here are constructed to generate exactly
+//! the traces and scheduler configurations the figures always used, so the
+//! numbers are unchanged — the `sweep` binary runs the same cells through
+//! the same code path, just many at a time.
 
 use crate::policies::Policy;
+use crate::scenarios::{ClusterKind, Scenario};
 use themis_cluster::cluster::Cluster;
 use themis_cluster::placement::Locality;
 use themis_cluster::time::Time;
 use themis_cluster::topology::ClusterSpec;
-use themis_core::config::ThemisConfig;
 use themis_sim::engine::{Engine, SimConfig};
 use themis_sim::metrics::SimReport;
 use themis_workload::app::AppSpec;
@@ -115,7 +123,9 @@ fn fmt(v: f64) -> String {
     format!("{v:.3}")
 }
 
-/// Runs one policy over one trace on one cluster.
+/// Runs one policy over an explicit trace on one cluster (used by the
+/// figures whose trace is hand-built, e.g. Figure 8's micro-trace; the
+/// generated-trace figures go through [`Scenario::run`] instead).
 pub fn run_policy(
     policy: Policy,
     trace: Vec<AppSpec>,
@@ -126,26 +136,16 @@ pub fn run_policy(
     Engine::new(cluster, trace, policy.build(), sim).run()
 }
 
-fn sim_256_trace(scale: Scale) -> Vec<AppSpec> {
-    TraceGenerator::new(
-        TraceConfig::default()
-            .with_num_apps(scale.sim_apps)
-            .with_seed(scale.seed),
-    )
-    .generate()
+/// The base scenario of the 256-GPU simulated experiments (§8.2): the
+/// scheduler seed follows the trace seed, as the original figure code did.
+fn sim_256_scenario(scale: Scale) -> Scenario {
+    Scenario::new(ClusterKind::Sim256, scale.sim_apps, scale.seed).with_scheduler_seed(scale.seed)
 }
 
-fn testbed_trace(scale: Scale) -> Vec<AppSpec> {
-    TraceGenerator::new(
-        TraceConfig::testbed()
-            .with_num_apps(scale.testbed_apps)
-            .with_seed(scale.seed),
-    )
-    .generate()
-}
-
-fn default_sim() -> SimConfig {
-    SimConfig::default().with_max_sim_time(Time::minutes(2_000_000.0))
+/// The base scenario of the 50-GPU testbed macro-benchmarks (§8.3): the
+/// scheduler keeps its default seed (0), matching `Policy::themis_default`.
+fn testbed_scenario(scale: Scale) -> Scenario {
+    Scenario::new(ClusterKind::Testbed50, scale.testbed_apps, scale.seed)
 }
 
 // ---------------------------------------------------------------------------
@@ -212,17 +212,11 @@ fn fairness_stats(report: &SimReport) -> (f64, f64, f64) {
 /// The shared sweep behind Figures 4a and 4b: Themis on the 256-GPU cluster
 /// with `f` ranging over `[0, 1]`.
 pub fn fairness_knob_sweep(scale: Scale) -> Vec<(f64, SimReport)> {
-    let cluster = ClusterSpec::heterogeneous_256();
     [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
         .into_iter()
         .map(|f| {
-            let policy = Policy::Themis(
-                ThemisConfig::default()
-                    .with_fairness_knob(f)
-                    .with_seed(scale.seed),
-            );
-            let report = run_policy(policy, sim_256_trace(scale), &cluster, default_sim());
-            (f, report)
+            let scenario = sim_256_scenario(scale).with_fairness_knob(f);
+            (f, scenario.run(Policy::themis_default()))
         })
         .collect()
 }
@@ -257,16 +251,14 @@ pub fn fig4b(scale: Scale) -> Table {
 
 /// Figure 4c: maximum finish-time fairness vs the lease duration.
 pub fn fig4c(scale: Scale) -> Table {
-    let cluster = ClusterSpec::heterogeneous_256();
     let mut table = Table::new(
         "fig4c",
         "Finish-time fairness vs lease time",
         &["lease_minutes", "max_rho"],
     );
     for lease in [5.0, 10.0, 20.0, 30.0, 40.0] {
-        let policy = Policy::Themis(ThemisConfig::default().with_seed(scale.seed));
-        let sim = default_sim().with_lease(Time::minutes(lease));
-        let report = run_policy(policy, sim_256_trace(scale), &cluster, sim);
+        let scenario = sim_256_scenario(scale).with_lease_minutes(lease);
+        let report = scenario.run(Policy::themis_default());
         let max = report.max_fairness().unwrap_or(0.0);
         table.push_row(vec![fmt(lease), fmt(max)]);
     }
@@ -280,11 +272,12 @@ pub fn fig4c(scale: Scale) -> Table {
 /// Runs the 50-GPU macro-benchmark (durations scaled by 1/5, §8.3) for every
 /// policy in the comparison set.
 pub fn macrobenchmark(scale: Scale) -> Vec<(Policy, SimReport)> {
-    let cluster = ClusterSpec::testbed_50();
+    let scenario = testbed_scenario(scale);
+    let trace = scenario.trace();
     Policy::macrobenchmark_set()
         .into_iter()
         .map(|policy| {
-            let report = run_policy(policy, testbed_trace(scale), &cluster, default_sim());
+            let report = scenario.run_on_trace(policy, trace.clone());
             (policy, report)
         })
         .collect()
@@ -425,19 +418,12 @@ pub fn fig8() -> Table {
 /// The sweep behind Figures 9a and 9b: vary the fraction of
 /// network-intensive apps and run each policy on a 50-GPU cluster.
 pub fn network_intensity_sweep(scale: Scale, policies: &[Policy]) -> Vec<(f64, Policy, SimReport)> {
-    let cluster = ClusterSpec::testbed_50();
     let mut out = Vec::new();
     for pct in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let trace = TraceGenerator::new(
-            TraceConfig::testbed()
-                .with_num_apps(scale.testbed_apps)
-                .with_network_intensive_fraction(pct)
-                .with_seed(scale.seed),
-        )
-        .generate();
+        let scenario = testbed_scenario(scale).with_network_fraction(pct);
+        let trace = scenario.trace();
         for policy in policies {
-            let report = run_policy(*policy, trace.clone(), &cluster, default_sim());
-            out.push((pct, *policy, report));
+            out.push((pct, *policy, scenario.run_on_trace(*policy, trace.clone())));
         }
     }
     out
@@ -517,27 +503,16 @@ pub fn fig9b(scale: Scale) -> Table {
 /// Figure 10: Jain's fairness index of Themis vs Tiresias as contention
 /// grows (1×, 2×, 4× of the baseline arrival rate).
 pub fn fig10(scale: Scale) -> Table {
-    let cluster = ClusterSpec::testbed_50();
     let mut table = Table::new(
         "fig10",
         "Jain's index vs contention factor",
         &["contention", "themis_jain", "tiresias_jain"],
     );
     for factor in [1.0, 2.0, 4.0] {
-        let trace = TraceGenerator::new(
-            TraceConfig::testbed()
-                .with_num_apps(scale.testbed_apps)
-                .with_seed(scale.seed)
-                .with_contention(factor),
-        )
-        .generate();
-        let themis = run_policy(
-            Policy::themis_default(),
-            trace.clone(),
-            &cluster,
-            default_sim(),
-        );
-        let tiresias = run_policy(Policy::Tiresias, trace, &cluster, default_sim());
+        let scenario = testbed_scenario(scale).with_contention(factor);
+        let trace = scenario.trace();
+        let themis = scenario.run_on_trace(Policy::themis_default(), trace.clone());
+        let tiresias = scenario.run_on_trace(Policy::Tiresias, trace);
         table.push_row(vec![
             format!("{factor}x"),
             fmt(themis.jains_index().unwrap_or(f64::NAN)),
@@ -554,19 +529,16 @@ pub fn fig10(scale: Scale) -> Table {
 /// Figure 11: max finish-time fairness as the relative error θ injected into
 /// bid valuations grows.
 pub fn fig11(scale: Scale) -> Table {
-    let cluster = ClusterSpec::testbed_50();
     let mut table = Table::new(
         "fig11",
         "Max finish-time fairness vs % error in bid valuations",
         &["pct_error", "max_rho"],
     );
     for theta in [0.0, 0.05, 0.10, 0.20] {
-        let policy = Policy::Themis(
-            ThemisConfig::default()
-                .with_rho_error(theta)
-                .with_seed(scale.seed),
-        );
-        let report = run_policy(policy, testbed_trace(scale), &cluster, default_sim());
+        let scenario = testbed_scenario(scale)
+            .with_rho_error(theta)
+            .with_scheduler_seed(scale.seed);
+        let report = scenario.run(Policy::themis_default());
         table.push_row(vec![
             fmt(theta * 100.0),
             fmt(report.max_fairness().unwrap_or(f64::NAN)),

@@ -9,12 +9,36 @@
 //! `figures` binary prints them (`cargo run -p themis-bench --bin figures --
 //! all`). The Criterion benches in `benches/` measure the §8.3.2 system
 //! overheads (bid preparation and partial-allocation solve times).
+//!
+//! The paper's evaluation is a *matrix* of such experiments, and the
+//! scenario subsystem makes that matrix first-class:
+//!
+//! * [`scenarios`] — the declarative [`scenarios::Scenario`] cell and the
+//!   cartesian [`scenarios::Matrix`] expander with the named matrices
+//!   (`smoke`, `full`, `lease`, `stress`),
+//! * [`sweep`] — the multi-threaded batch runner executing every
+//!   `(scenario × policy)` cell via `themis_sim::batch`,
+//! * [`report`] — the machine-readable [`report::SweepReport`] and the
+//!   `BENCH_BASELINE.json` regression gate CI diffs against,
+//! * [`json`] — the deterministic JSON writer/parser backing it (the
+//!   vendored `serde` is an inert stub, see `vendor/README.md`).
+//!
+//! The `sweep` binary drives it all:
+//! `cargo run --release -p themis-bench --bin sweep -- --matrix smoke
+//! --jobs 4 --out sweep.json --check BENCH_BASELINE.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
 pub mod policies;
+pub mod report;
+pub mod scenarios;
+pub mod sweep;
 
 pub use experiments::*;
 pub use policies::Policy;
+pub use report::{compare_reports, CellMetrics, CellReport, SweepReport};
+pub use scenarios::{ClusterKind, Matrix, Scenario};
+pub use sweep::{run_cell, run_sweep, run_sweep_filtered};

@@ -37,6 +37,31 @@ impl Policy {
         ]
     }
 
+    /// Every policy the sweep engine can run: Themis plus all four
+    /// baselines, in presentation order.
+    pub fn all() -> Vec<Policy> {
+        vec![
+            Policy::themis_default(),
+            Policy::Gandiva,
+            Policy::Slaq,
+            Policy::Tiresias,
+            Policy::Drf,
+        ]
+    }
+
+    /// Parses a policy by its display name (as printed by [`Policy::name`]).
+    /// A parsed Themis carries the default config; scenario knobs are
+    /// applied by `Scenario::instantiate`.
+    pub fn parse(name: &str) -> Option<Policy> {
+        Policy::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Whether this is the Themis auction (the only policy the scenario
+    /// fairness-knob and ρ-error axes apply to).
+    pub fn is_themis(&self) -> bool {
+        matches!(self, Policy::Themis(_))
+    }
+
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -78,5 +103,22 @@ mod tests {
         let set = Policy::macrobenchmark_set();
         assert_eq!(set.len(), 4);
         assert_eq!(set[0].name(), "themis");
+    }
+
+    #[test]
+    fn parse_round_trips_every_policy() {
+        for policy in Policy::all() {
+            assert_eq!(Policy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(Policy::parse("nope"), None);
+        assert_eq!(Policy::all().len(), 5);
+    }
+
+    #[test]
+    fn only_themis_is_themis() {
+        assert!(Policy::themis_default().is_themis());
+        for policy in [Policy::Gandiva, Policy::Slaq, Policy::Tiresias, Policy::Drf] {
+            assert!(!policy.is_themis());
+        }
     }
 }

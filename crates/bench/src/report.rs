@@ -1,0 +1,471 @@
+//! Machine-readable sweep reports and the baseline regression gate.
+//!
+//! A sweep run aggregates one [`CellMetrics`] per `(scenario × policy)`
+//! cell into a [`SweepReport`]. The canonical JSON rendering
+//! ([`SweepReport::to_canonical_string`]) deliberately excludes wall-clock
+//! timings: metrics are a pure function of the scenario, so serial and
+//! parallel runs of the same matrix emit byte-identical documents, and CI
+//! can diff a run against the committed `BENCH_BASELINE.json` exactly.
+//! Timings are advisory — ask for them with
+//! [`SweepReport::to_json`]`(true)` or the `sweep --timings` flag.
+
+use crate::json::Json;
+use crate::scenarios::{ClusterKind, Scenario};
+use themis_sim::metrics::SimReport;
+
+/// Version stamp of the JSON schema, bumped on incompatible change so a
+/// stale baseline fails loudly instead of diffing nonsense.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// The metrics extracted from one simulation run (the paper's §8.1 set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Worst finish-time fairness ρ across finished apps (lower is better).
+    pub max_rho: Option<f64>,
+    /// Jain's fairness index over ρ values (closer to 1 is better).
+    pub jain: Option<f64>,
+    /// Simulated end time of the run, in minutes.
+    pub makespan_minutes: f64,
+    /// Mean app completion time, in minutes.
+    pub avg_jct_minutes: Option<f64>,
+    /// Total GPU time consumed, in GPU-hours.
+    pub gpu_hours: f64,
+    /// Mean per-app placement score over finished apps.
+    pub mean_placement_score: Option<f64>,
+    /// Peak contention (aggregate demand / cluster size).
+    pub peak_contention: f64,
+    /// Apps that finished within the horizon.
+    pub finished_apps: usize,
+    /// Apps still unfinished at the horizon.
+    pub unfinished_apps: usize,
+    /// Scheduling rounds the policy ran.
+    pub scheduling_rounds: u64,
+}
+
+impl CellMetrics {
+    /// Extracts the metric set from a finished simulation.
+    pub fn from_report(report: &SimReport) -> CellMetrics {
+        CellMetrics {
+            max_rho: report.max_fairness(),
+            jain: report.jains_index(),
+            makespan_minutes: report.end_time.as_minutes(),
+            avg_jct_minutes: report.mean_completion_time().map(|t| t.as_minutes()),
+            gpu_hours: report.total_gpu_time.as_hours(),
+            mean_placement_score: report.mean_placement_score(),
+            peak_contention: report.peak_contention,
+            finished_apps: report.finished_apps(),
+            unfinished_apps: report.unfinished_apps(),
+            scheduling_rounds: report.scheduling_rounds,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("max_rho".into(), Json::opt_num(self.max_rho)),
+            ("jain".into(), Json::opt_num(self.jain)),
+            ("makespan_minutes".into(), Json::num(self.makespan_minutes)),
+            (
+                "avg_jct_minutes".into(),
+                Json::opt_num(self.avg_jct_minutes),
+            ),
+            ("gpu_hours".into(), Json::num(self.gpu_hours)),
+            (
+                "mean_placement_score".into(),
+                Json::opt_num(self.mean_placement_score),
+            ),
+            ("peak_contention".into(), Json::num(self.peak_contention)),
+            ("finished_apps".into(), Json::num(self.finished_apps as f64)),
+            (
+                "unfinished_apps".into(),
+                Json::num(self.unfinished_apps as f64),
+            ),
+            (
+                "scheduling_rounds".into(),
+                Json::num(self.scheduling_rounds as f64),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<CellMetrics, String> {
+        let req = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metrics missing numeric field '{key}'"))
+        };
+        let opt = |key: &str| value.get(key).and_then(Json::as_opt_f64);
+        Ok(CellMetrics {
+            max_rho: opt("max_rho"),
+            jain: opt("jain"),
+            makespan_minutes: req("makespan_minutes")?,
+            avg_jct_minutes: opt("avg_jct_minutes"),
+            gpu_hours: req("gpu_hours")?,
+            mean_placement_score: opt("mean_placement_score"),
+            peak_contention: req("peak_contention")?,
+            finished_apps: req("finished_apps")? as usize,
+            unfinished_apps: req("unfinished_apps")? as usize,
+            scheduling_rounds: req("scheduling_rounds")? as u64,
+        })
+    }
+
+    /// `(name, value)` pairs of the numeric metrics, for diffing. Absent
+    /// optional metrics surface as NaN, which only equals NaN on both sides
+    /// via the explicit check in [`compare_reports`].
+    fn numbered(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("max_rho", self.max_rho.unwrap_or(f64::NAN)),
+            ("jain", self.jain.unwrap_or(f64::NAN)),
+            ("makespan_minutes", self.makespan_minutes),
+            ("avg_jct_minutes", self.avg_jct_minutes.unwrap_or(f64::NAN)),
+            ("gpu_hours", self.gpu_hours),
+            (
+                "mean_placement_score",
+                self.mean_placement_score.unwrap_or(f64::NAN),
+            ),
+            ("peak_contention", self.peak_contention),
+            ("finished_apps", self.finished_apps as f64),
+            ("unfinished_apps", self.unfinished_apps as f64),
+            ("scheduling_rounds", self.scheduling_rounds as f64),
+        ]
+    }
+}
+
+/// One `(scenario × policy)` cell of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// `"<scenario id>/<policy>"` — unique within a matrix.
+    pub id: String,
+    /// Policy display name.
+    pub policy: String,
+    /// The scenario the cell ran.
+    pub scenario: Scenario,
+    /// The extracted metrics.
+    pub metrics: CellMetrics,
+    /// Host wall-clock the cell took, in milliseconds. Advisory only —
+    /// never part of the canonical JSON.
+    pub wall_clock_ms: f64,
+}
+
+impl CellReport {
+    fn scenario_json(scenario: &Scenario) -> Json {
+        Json::Obj(vec![
+            ("cluster".into(), Json::str(scenario.cluster.name())),
+            ("apps".into(), Json::num(scenario.apps as f64)),
+            ("contention".into(), Json::num(scenario.contention)),
+            (
+                "network_fraction".into(),
+                Json::num(scenario.network_fraction),
+            ),
+            ("fairness_knob".into(), Json::num(scenario.fairness_knob)),
+            ("lease_minutes".into(), Json::num(scenario.lease_minutes)),
+            ("rho_error".into(), Json::num(scenario.rho_error)),
+            ("burst_fraction".into(), Json::num(scenario.burst_fraction)),
+            (
+                "heavy_job_fraction".into(),
+                Json::num(scenario.heavy_job_fraction),
+            ),
+            ("seed".into(), Json::num(scenario.seed as f64)),
+            (
+                "scheduler_seed".into(),
+                Json::num(scenario.scheduler_seed as f64),
+            ),
+        ])
+    }
+
+    fn scenario_from_json(value: &Json) -> Result<Scenario, String> {
+        let req = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario missing numeric field '{key}'"))
+        };
+        let cluster_name = value
+            .get("cluster")
+            .and_then(Json::as_str)
+            .ok_or("scenario missing 'cluster'")?;
+        let cluster = ClusterKind::parse(cluster_name)
+            .ok_or_else(|| format!("unknown cluster kind '{cluster_name}'"))?;
+        Ok(Scenario {
+            cluster,
+            apps: req("apps")? as usize,
+            contention: req("contention")?,
+            network_fraction: req("network_fraction")?,
+            fairness_knob: req("fairness_knob")?,
+            lease_minutes: req("lease_minutes")?,
+            rho_error: req("rho_error")?,
+            burst_fraction: req("burst_fraction")?,
+            heavy_job_fraction: req("heavy_job_fraction")?,
+            seed: req("seed")? as u64,
+            scheduler_seed: req("scheduler_seed")? as u64,
+        })
+    }
+
+    fn to_json(&self, timings: bool) -> Json {
+        let mut pairs = vec![
+            ("id".into(), Json::str(&self.id)),
+            ("policy".into(), Json::str(&self.policy)),
+            ("scenario".into(), Self::scenario_json(&self.scenario)),
+            ("metrics".into(), self.metrics.to_json()),
+        ];
+        if timings {
+            pairs.push(("wall_clock_ms".into(), Json::num(self.wall_clock_ms)));
+        }
+        Json::Obj(pairs)
+    }
+
+    fn from_json(value: &Json) -> Result<CellReport, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("cell missing field '{key}'"))
+        };
+        Ok(CellReport {
+            id: field("id")?
+                .as_str()
+                .ok_or("cell 'id' must be a string")?
+                .to_string(),
+            policy: field("policy")?
+                .as_str()
+                .ok_or("cell 'policy' must be a string")?
+                .to_string(),
+            scenario: Self::scenario_from_json(field("scenario")?)?,
+            metrics: CellMetrics::from_json(field("metrics")?)?,
+            wall_clock_ms: value
+                .get("wall_clock_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+}
+
+/// The aggregated result of one sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The matrix that was run.
+    pub matrix: String,
+    /// One report per cell, in matrix expansion order.
+    pub cells: Vec<CellReport>,
+    /// Total host wall-clock of the sweep, in milliseconds (advisory).
+    pub total_wall_clock_ms: f64,
+}
+
+impl SweepReport {
+    /// Serializes the report. With `timings = false` (the canonical form)
+    /// the document is a pure function of the matrix definition.
+    pub fn to_json(&self, timings: bool) -> Json {
+        let mut pairs = vec![
+            ("schema_version".into(), Json::num(SCHEMA_VERSION)),
+            ("matrix".into(), Json::str(&self.matrix)),
+            ("cell_count".into(), Json::num(self.cells.len() as f64)),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(|c| c.to_json(timings)).collect()),
+            ),
+        ];
+        if timings {
+            pairs.push((
+                "total_wall_clock_ms".into(),
+                Json::num(self.total_wall_clock_ms),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The canonical byte representation: pretty JSON without timings.
+    pub fn to_canonical_string(&self) -> String {
+        self.to_json(false).to_pretty_string()
+    }
+
+    /// Parses a report previously produced by [`SweepReport::to_json`].
+    pub fn from_json(value: &Json) -> Result<SweepReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("report missing 'schema_version'")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version mismatch: report is v{version}, this binary expects v{SCHEMA_VERSION} \
+                 (regenerate the baseline)"
+            ));
+        }
+        let matrix = value
+            .get("matrix")
+            .and_then(Json::as_str)
+            .ok_or("report missing 'matrix'")?
+            .to_string();
+        let cells = value
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("report missing 'cells' array")?
+            .iter()
+            .map(CellReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepReport {
+            matrix,
+            cells,
+            total_wall_clock_ms: value
+                .get("total_wall_clock_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+
+    /// Parses a report from its textual JSON form.
+    pub fn parse_str(text: &str) -> Result<SweepReport, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        SweepReport::from_json(&json)
+    }
+}
+
+/// Compares a freshly run report against a committed baseline.
+///
+/// Returns one human-readable line per divergence; an empty vector means
+/// the gate passes. Metrics are compared with relative tolerance `tol`
+/// (pinned seeds make runs bit-reproducible, so CI uses a tiny tolerance
+/// that only forgives float formatting, not behavior). Wall-clock is never
+/// compared — it is advisory by design.
+pub fn compare_reports(current: &SweepReport, baseline: &SweepReport, tol: f64) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if current.matrix != baseline.matrix {
+        diffs.push(format!(
+            "matrix name differs: current '{}' vs baseline '{}'",
+            current.matrix, baseline.matrix
+        ));
+    }
+    let find = |cells: &[CellReport], id: &str| -> Option<CellMetrics> {
+        cells.iter().find(|c| c.id == id).map(|c| c.metrics.clone())
+    };
+    for cell in &baseline.cells {
+        match find(&current.cells, &cell.id) {
+            None => diffs.push(format!("cell '{}' missing from current run", cell.id)),
+            Some(current_metrics) => {
+                for ((name, a), (_, b)) in current_metrics
+                    .numbered()
+                    .into_iter()
+                    .zip(cell.metrics.numbered())
+                {
+                    let both_absent = a.is_nan() && b.is_nan();
+                    let within = (a - b).abs() <= tol * b.abs().max(1.0);
+                    if !both_absent && !within {
+                        diffs.push(format!(
+                            "cell '{}': {} diverged: current {} vs baseline {}",
+                            cell.id, name, a, b
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for cell in &current.cells {
+        if find(&baseline.cells, &cell.id).is_none() {
+            diffs.push(format!(
+                "cell '{}' not present in baseline (regenerate BENCH_BASELINE.json?)",
+                cell.id
+            ));
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::ClusterKind;
+
+    fn sample_report() -> SweepReport {
+        let scenario = Scenario::new(ClusterKind::Rack16, 3, 42).with_contention(2.0);
+        let metrics = CellMetrics {
+            max_rho: Some(2.5),
+            jain: Some(0.9),
+            makespan_minutes: 120.0,
+            avg_jct_minutes: Some(60.0),
+            gpu_hours: 14.5,
+            mean_placement_score: Some(0.95),
+            peak_contention: 2.0,
+            finished_apps: 3,
+            unfinished_apps: 0,
+            scheduling_rounds: 17,
+        };
+        SweepReport {
+            matrix: "unit".into(),
+            cells: vec![CellReport {
+                id: format!("{}/themis", scenario.id()),
+                policy: "themis".into(),
+                scenario,
+                metrics,
+                wall_clock_ms: 12.0,
+            }],
+            total_wall_clock_ms: 12.0,
+        }
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let report = sample_report();
+        let text = report.to_canonical_string();
+        let back = SweepReport::parse_str(&text).expect("canonical form parses");
+        // Wall clock is not canonical, so compare everything else.
+        assert_eq!(back.matrix, report.matrix);
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].scenario, report.cells[0].scenario);
+        assert_eq!(back.cells[0].metrics, report.cells[0].metrics);
+        assert_eq!(back.to_canonical_string(), text);
+        // Canonical form has no timing fields.
+        assert!(!text.contains("wall_clock"));
+        // The timing form does.
+        assert!(report
+            .to_json(true)
+            .to_pretty_string()
+            .contains("total_wall_clock_ms"));
+    }
+
+    #[test]
+    fn comparison_passes_on_identical_reports() {
+        let report = sample_report();
+        assert!(compare_reports(&report, &report, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn comparison_flags_metric_divergence() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.cells[0].metrics.gpu_hours += 1.0;
+        let diffs = compare_reports(&current, &baseline, 1e-9);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("gpu_hours"), "{diffs:?}");
+        // A generous tolerance forgives it.
+        assert!(compare_reports(&current, &baseline, 0.1).is_empty());
+    }
+
+    #[test]
+    fn comparison_flags_missing_and_extra_cells() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.cells[0].id = "other/cell".into();
+        let diffs = compare_reports(&current, &baseline, 1e-9);
+        assert_eq!(diffs.len(), 2);
+        assert!(diffs.iter().any(|d| d.contains("missing from current")));
+        assert!(diffs.iter().any(|d| d.contains("not present in baseline")));
+    }
+
+    #[test]
+    fn absent_optional_metrics_compare_equal() {
+        let mut baseline = sample_report();
+        baseline.cells[0].metrics.max_rho = None;
+        let current = baseline.clone();
+        assert!(compare_reports(&current, &baseline, 1e-9).is_empty());
+        // Absent vs present diverges.
+        let mut present = baseline.clone();
+        present.cells[0].metrics.max_rho = Some(1.0);
+        assert!(!compare_reports(&present, &baseline, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let text = sample_report()
+            .to_canonical_string()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = SweepReport::parse_str(&text).expect_err("must reject");
+        assert!(err.contains("schema version"), "{err}");
+    }
+}

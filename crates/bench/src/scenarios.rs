@@ -1,0 +1,544 @@
+//! Declarative simulation scenarios and the cartesian scenario matrix.
+//!
+//! The paper's evaluation (§8) is a *matrix* of experiments: contention
+//! levels × fairness-knob settings × lease durations × estimator error ×
+//! placement-sensitivity mixes, each run for Themis and four baselines.
+//! This module makes that matrix a first-class value:
+//!
+//! * [`Scenario`] pins down one simulation cell — cluster shape, trace
+//!   configuration, fairness/lease/error knobs and the seeds — and can
+//!   [`run`](Scenario::run) any [`Policy`] on it deterministically,
+//! * [`Matrix`] is a declarative set of axis values whose
+//!   [`expand`](Matrix::expand) takes the cartesian product,
+//! * the named matrices ([`Matrix::smoke`], [`Matrix::full`],
+//!   [`Matrix::lease`], [`Matrix::stress`]) are the sweeps the `sweep`
+//!   binary and CI run.
+//!
+//! The `figN` experiment functions in [`crate::experiments`] are thin views
+//! over scenarios: each figure builds the scenario list for one axis and
+//! reads the reports back.
+
+use crate::policies::Policy;
+use themis_cluster::cluster::Cluster;
+use themis_cluster::time::Time;
+use themis_cluster::topology::ClusterSpec;
+use themis_core::config::ThemisConfig;
+use themis_sim::engine::{Engine, SimConfig};
+use themis_sim::metrics::SimReport;
+use themis_workload::app::AppSpec;
+use themis_workload::trace::{TraceConfig, TraceGenerator};
+
+/// The cluster shapes scenarios can run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// The paper's simulated 256-GPU heterogeneous cluster (§8.1).
+    Sim256,
+    /// The paper's 50-GPU testbed (durations scaled 1/5, §8.3).
+    Testbed50,
+    /// A small 16-GPU rack (1 rack × 4 machines × 4 GPUs) for smoke tests
+    /// and property tests where contention is easy to provoke.
+    Rack16,
+}
+
+impl ClusterKind {
+    /// All cluster kinds, in size order.
+    pub const ALL: [ClusterKind; 3] = [
+        ClusterKind::Rack16,
+        ClusterKind::Testbed50,
+        ClusterKind::Sim256,
+    ];
+
+    /// Stable identifier used in scenario ids and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterKind::Sim256 => "sim256",
+            ClusterKind::Testbed50 => "testbed50",
+            ClusterKind::Rack16 => "rack16",
+        }
+    }
+
+    /// Parses the identifier produced by [`ClusterKind::name`].
+    pub fn parse(name: &str) -> Option<ClusterKind> {
+        ClusterKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Builds the concrete topology.
+    pub fn spec(&self) -> ClusterSpec {
+        match self {
+            ClusterKind::Sim256 => ClusterSpec::heterogeneous_256(),
+            ClusterKind::Testbed50 => ClusterSpec::testbed_50(),
+            ClusterKind::Rack16 => ClusterSpec::homogeneous(1, 4, 4),
+        }
+    }
+
+    /// The trace configuration the paper pairs with this cluster:
+    /// full-length durations for the simulated cluster, 1/5-scaled
+    /// durations for the 50-GPU testbed and the small rack.
+    pub fn base_trace_config(&self) -> TraceConfig {
+        match self {
+            ClusterKind::Sim256 => TraceConfig::default(),
+            ClusterKind::Testbed50 | ClusterKind::Rack16 => TraceConfig::testbed(),
+        }
+    }
+}
+
+/// One fully specified simulation cell, minus the policy.
+///
+/// Two scenarios with equal fields produce byte-identical traces and — for
+/// a fixed policy — byte-identical [`SimReport`]s; that determinism is what
+/// the sweep baseline in CI leans on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Cluster shape.
+    pub cluster: ClusterKind,
+    /// Number of apps in the generated trace.
+    pub apps: usize,
+    /// Contention factor: arrival rate multiplier (§8.4.2; 2.0 halves the
+    /// mean inter-arrival time).
+    pub contention: f64,
+    /// Fraction of network-intensive (placement-sensitive) apps (§8.4.1).
+    pub network_fraction: f64,
+    /// Themis fairness knob `f` (§8.2). Ignored by the baselines.
+    pub fairness_knob: f64,
+    /// Lease duration in minutes (§8.2).
+    pub lease_minutes: f64,
+    /// Relative ρ-estimation error θ injected into Themis bids (§8.4.3).
+    /// Ignored by the baselines.
+    pub rho_error: f64,
+    /// Fraction of apps arriving in bursts (trace knob; 0 = pure Poisson).
+    pub burst_fraction: f64,
+    /// Fraction of jobs demanding 8 GPUs (trace knob; 0 = paper workload).
+    pub heavy_job_fraction: f64,
+    /// Trace-generator seed.
+    pub seed: u64,
+    /// Seed for the scheduler's internal tie-breaking / error-injection
+    /// randomness. Kept separate from the trace seed so the experiment
+    /// views can reproduce the paper figures exactly.
+    pub scheduler_seed: u64,
+}
+
+impl Scenario {
+    /// A scenario on `cluster` with `apps` apps and the paper's default
+    /// knobs (contention 1×, 40% network-intensive, `f = 0.8`, 20-minute
+    /// lease, no error, pure Poisson arrivals, no heavy jobs).
+    pub fn new(cluster: ClusterKind, apps: usize, seed: u64) -> Scenario {
+        Scenario {
+            cluster,
+            apps,
+            contention: 1.0,
+            network_fraction: 0.4,
+            fairness_knob: 0.8,
+            lease_minutes: 20.0,
+            rho_error: 0.0,
+            burst_fraction: 0.0,
+            heavy_job_fraction: 0.0,
+            seed,
+            scheduler_seed: 0,
+        }
+    }
+
+    /// Sets the contention factor.
+    pub fn with_contention(mut self, factor: f64) -> Scenario {
+        self.contention = factor;
+        self
+    }
+
+    /// Sets the network-intensive app fraction.
+    pub fn with_network_fraction(mut self, fraction: f64) -> Scenario {
+        self.network_fraction = fraction;
+        self
+    }
+
+    /// Sets the Themis fairness knob.
+    pub fn with_fairness_knob(mut self, f: f64) -> Scenario {
+        self.fairness_knob = f;
+        self
+    }
+
+    /// Sets the lease duration in minutes.
+    pub fn with_lease_minutes(mut self, lease: f64) -> Scenario {
+        self.lease_minutes = lease;
+        self
+    }
+
+    /// Sets the ρ-error injection range.
+    pub fn with_rho_error(mut self, theta: f64) -> Scenario {
+        self.rho_error = theta;
+        self
+    }
+
+    /// Sets the bursty-arrival fraction.
+    pub fn with_burst_fraction(mut self, fraction: f64) -> Scenario {
+        self.burst_fraction = fraction;
+        self
+    }
+
+    /// Sets the heavy-job fraction.
+    pub fn with_heavy_job_fraction(mut self, fraction: f64) -> Scenario {
+        self.heavy_job_fraction = fraction;
+        self
+    }
+
+    /// Sets the scheduler-internal seed.
+    pub fn with_scheduler_seed(mut self, seed: u64) -> Scenario {
+        self.scheduler_seed = seed;
+        self
+    }
+
+    /// A compact, stable identifier encoding every axis value, e.g.
+    /// `testbed50-a8-x2-n0.4-f0.8-l20-e0-b0-h0-s42`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-s{}",
+            self.cluster.name(),
+            self.apps,
+            self.contention,
+            self.network_fraction,
+            self.fairness_knob,
+            self.lease_minutes,
+            self.rho_error,
+            self.burst_fraction,
+            self.heavy_job_fraction,
+            self.seed
+        )
+    }
+
+    /// The trace configuration this scenario generates apps from.
+    pub fn trace_config(&self) -> TraceConfig {
+        let mut config = self
+            .cluster
+            .base_trace_config()
+            .with_num_apps(self.apps)
+            .with_seed(self.seed)
+            .with_network_intensive_fraction(self.network_fraction)
+            .with_contention(self.contention)
+            .with_heavy_job_fraction(self.heavy_job_fraction);
+        if self.burst_fraction > 0.0 {
+            config = config.with_burstiness(self.burst_fraction, 8.0);
+        }
+        config
+    }
+
+    /// Generates the (deterministic) trace.
+    pub fn trace(&self) -> Vec<AppSpec> {
+        TraceGenerator::new(self.trace_config()).generate()
+    }
+
+    /// The engine configuration: the scenario's lease, the paper's 1-minute
+    /// checkpoint overhead and the experiment harness's 2M-minute horizon.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::default()
+            .with_lease(Time::minutes(self.lease_minutes))
+            .with_max_sim_time(Time::minutes(2_000_000.0))
+    }
+
+    /// Applies the scenario's Themis knobs to a policy. Themis picks up the
+    /// fairness knob, ρ-error and scheduler seed; baselines are returned
+    /// unchanged (they have no tunables).
+    pub fn instantiate(&self, policy: Policy) -> Policy {
+        match policy {
+            Policy::Themis(_) => Policy::Themis(
+                ThemisConfig::default()
+                    .with_fairness_knob(self.fairness_knob)
+                    .with_rho_error(self.rho_error)
+                    .with_seed(self.scheduler_seed),
+            ),
+            other => other,
+        }
+    }
+
+    /// Runs `policy` on this scenario to completion.
+    pub fn run(&self, policy: Policy) -> SimReport {
+        self.run_on_trace(policy, self.trace())
+    }
+
+    /// Runs `policy` on a prebuilt trace (which must come from
+    /// [`Scenario::trace`]). Callers comparing several policies on one
+    /// scenario generate the trace once and clone it, instead of
+    /// regenerating it per policy.
+    pub fn run_on_trace(&self, policy: Policy, trace: Vec<AppSpec>) -> SimReport {
+        let cluster = Cluster::new(self.cluster.spec());
+        Engine::new(
+            cluster,
+            trace,
+            self.instantiate(policy).build(),
+            self.sim_config(),
+        )
+        .run()
+    }
+}
+
+/// A declarative scenario matrix: every field is an axis, and
+/// [`Matrix::expand`] takes the cartesian product of all of them.
+///
+/// Axes that only affect Themis (`fairness_knob`, `rho_error`) are deduped
+/// per baseline by [`Matrix::cells`]: a baseline runs only the first value
+/// of each Themis-only axis, since the remaining combinations would be
+/// byte-identical re-runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Name of the matrix ("smoke", "full", ...), recorded in the report.
+    pub name: String,
+    /// Cluster axis.
+    pub clusters: Vec<ClusterKind>,
+    /// Trace-size axis (number of apps).
+    pub apps: Vec<usize>,
+    /// Contention-factor axis.
+    pub contention: Vec<f64>,
+    /// Network-intensive-fraction axis.
+    pub network_fraction: Vec<f64>,
+    /// Fairness-knob axis (Themis only).
+    pub fairness_knob: Vec<f64>,
+    /// Lease-duration axis (minutes).
+    pub lease_minutes: Vec<f64>,
+    /// ρ-error axis (Themis only).
+    pub rho_error: Vec<f64>,
+    /// Bursty-arrival axis.
+    pub burst_fraction: Vec<f64>,
+    /// Heavy-job axis.
+    pub heavy_job_fraction: Vec<f64>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Policies to run on every scenario.
+    pub policies: Vec<Policy>,
+}
+
+impl Matrix {
+    /// A single-point matrix (one value per axis) that scenarios can be
+    /// grown from. Uses the paper's default knobs and all five policies.
+    pub fn point(name: &str, cluster: ClusterKind, apps: usize, seed: u64) -> Matrix {
+        Matrix {
+            name: name.to_string(),
+            clusters: vec![cluster],
+            apps: vec![apps],
+            contention: vec![1.0],
+            network_fraction: vec![0.4],
+            fairness_knob: vec![0.8],
+            lease_minutes: vec![20.0],
+            rho_error: vec![0.0],
+            burst_fraction: vec![0.0],
+            heavy_job_fraction: vec![0.0],
+            seeds: vec![seed],
+            policies: Policy::all(),
+        }
+    }
+
+    /// The CI smoke matrix: small, pinned-seed, covers the contention,
+    /// fairness-knob and burstiness axes on the 16-GPU rack. This is the
+    /// matrix `BENCH_BASELINE.json` is generated from; keep it fast — CI
+    /// runs it on every push.
+    pub fn smoke() -> Matrix {
+        Matrix {
+            contention: vec![1.0, 2.0],
+            fairness_knob: vec![0.8, 0.2],
+            burst_fraction: vec![0.0, 0.5],
+            ..Matrix::point("smoke", ClusterKind::Rack16, 6, 42)
+        }
+    }
+
+    /// The paper-shaped evaluation matrix on the 50-GPU testbed: contention
+    /// × placement mix × fairness knob × estimator error × two seeds.
+    /// Hours of simulated sweep — run it locally, not in CI.
+    pub fn full() -> Matrix {
+        Matrix {
+            apps: vec![20],
+            contention: vec![1.0, 2.0, 4.0],
+            network_fraction: vec![0.0, 0.5, 1.0],
+            fairness_knob: vec![0.2, 0.8],
+            rho_error: vec![0.0, 0.1],
+            seeds: vec![42, 43],
+            ..Matrix::point("full", ClusterKind::Testbed50, 20, 42)
+        }
+    }
+
+    /// The lease-sensitivity matrix behind Figure 4c, extended with both
+    /// cluster scales.
+    pub fn lease() -> Matrix {
+        Matrix {
+            clusters: vec![ClusterKind::Rack16, ClusterKind::Testbed50],
+            apps: vec![8],
+            lease_minutes: vec![5.0, 10.0, 20.0, 40.0],
+            policies: vec![Policy::themis_default(), Policy::Tiresias],
+            ..Matrix::point("lease", ClusterKind::Testbed50, 8, 42)
+        }
+    }
+
+    /// A stress matrix for the new workload knobs: bursty arrivals and
+    /// heavy 8-GPU jobs under elevated contention.
+    pub fn stress() -> Matrix {
+        Matrix {
+            contention: vec![2.0],
+            burst_fraction: vec![0.0, 0.5, 0.9],
+            heavy_job_fraction: vec![0.0, 0.3],
+            apps: vec![10],
+            ..Matrix::point("stress", ClusterKind::Testbed50, 10, 42)
+        }
+    }
+
+    /// Names accepted by [`Matrix::by_name`].
+    pub const NAMED: [&'static str; 4] = ["smoke", "full", "lease", "stress"];
+
+    /// Looks up a named matrix.
+    pub fn by_name(name: &str) -> Option<Matrix> {
+        match name {
+            "smoke" => Some(Matrix::smoke()),
+            "full" => Some(Matrix::full()),
+            "lease" => Some(Matrix::lease()),
+            "stress" => Some(Matrix::stress()),
+            _ => None,
+        }
+    }
+
+    /// Expands the cartesian product of all axes into concrete scenarios,
+    /// in a fixed lexicographic axis order. Every scenario's scheduler seed
+    /// is its trace seed, so a cell is a pure function of its axis values.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &cluster in &self.clusters {
+            for &apps in &self.apps {
+                for &contention in &self.contention {
+                    for &network_fraction in &self.network_fraction {
+                        for &fairness_knob in &self.fairness_knob {
+                            for &lease_minutes in &self.lease_minutes {
+                                for &rho_error in &self.rho_error {
+                                    for &burst_fraction in &self.burst_fraction {
+                                        for &heavy_job_fraction in &self.heavy_job_fraction {
+                                            for &seed in &self.seeds {
+                                                out.push(Scenario {
+                                                    cluster,
+                                                    apps,
+                                                    contention,
+                                                    network_fraction,
+                                                    fairness_knob,
+                                                    lease_minutes,
+                                                    rho_error,
+                                                    burst_fraction,
+                                                    heavy_job_fraction,
+                                                    seed,
+                                                    scheduler_seed: seed,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The concrete `(scenario, policy)` cells of the sweep, with
+    /// byte-identical baseline re-runs along Themis-only axes deduped: a
+    /// non-Themis policy only runs scenarios holding the *first* value of
+    /// the `fairness_knob` and `rho_error` axes.
+    pub fn cells(&self) -> Vec<(Scenario, Policy)> {
+        let first_knob = self.fairness_knob.first().copied();
+        let first_error = self.rho_error.first().copied();
+        let mut out = Vec::new();
+        for scenario in self.expand() {
+            for &policy in &self.policies {
+                if !policy.is_themis()
+                    && (Some(scenario.fairness_knob) != first_knob
+                        || Some(scenario.rho_error) != first_error)
+                {
+                    continue;
+                }
+                out.push((scenario.clone(), policy));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_cartesian_product() {
+        let matrix = Matrix::smoke();
+        let scenarios = matrix.expand();
+        assert_eq!(
+            scenarios.len(),
+            matrix.contention.len() * matrix.fairness_knob.len() * matrix.burst_fraction.len()
+        );
+        // Ids are unique.
+        let ids: std::collections::BTreeSet<String> = scenarios.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), scenarios.len());
+    }
+
+    #[test]
+    fn cells_dedupe_baselines_along_themis_axes() {
+        let matrix = Matrix::smoke();
+        let cells = matrix.cells();
+        let themis = cells.iter().filter(|(_, p)| p.is_themis()).count();
+        let gandiva = cells.iter().filter(|(_, p)| p.name() == "gandiva").count();
+        // Themis runs every scenario; each baseline skips the extra
+        // fairness-knob value.
+        assert_eq!(themis, matrix.expand().len());
+        assert_eq!(gandiva, themis / matrix.fairness_knob.len());
+        // Every baseline cell uses the first knob value.
+        for (scenario, policy) in &cells {
+            if !policy.is_themis() {
+                assert_eq!(scenario.fairness_knob, matrix.fairness_knob[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn named_matrices_resolve() {
+        for name in Matrix::NAMED {
+            let matrix = Matrix::by_name(name).expect("named matrix exists");
+            assert_eq!(matrix.name, name);
+            assert!(!matrix.cells().is_empty());
+        }
+        assert!(Matrix::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scenario_roundtrips_cluster_names() {
+        for kind in ClusterKind::ALL {
+            assert_eq!(ClusterKind::parse(kind.name()), Some(kind));
+            assert!(kind.spec().total_gpus() > 0);
+        }
+        assert_eq!(ClusterKind::parse("nope"), None);
+        assert_eq!(ClusterKind::Rack16.spec().total_gpus(), 16);
+    }
+
+    #[test]
+    fn scenario_id_encodes_axes() {
+        let s = Scenario::new(ClusterKind::Testbed50, 8, 7)
+            .with_contention(2.0)
+            .with_fairness_knob(0.4);
+        assert_eq!(s.id(), "testbed50-a8-x2-n0.4-f0.4-l20-e0-b0-h0-s7");
+    }
+
+    #[test]
+    fn instantiate_applies_knobs_to_themis_only() {
+        let s = Scenario::new(ClusterKind::Rack16, 4, 1)
+            .with_fairness_knob(0.3)
+            .with_rho_error(0.1)
+            .with_scheduler_seed(9);
+        match s.instantiate(Policy::themis_default()) {
+            Policy::Themis(cfg) => {
+                assert_eq!(cfg.fairness_knob, 0.3);
+                assert_eq!(cfg.rho_error_theta, 0.1);
+                assert_eq!(cfg.seed, 9);
+            }
+            other => panic!("expected Themis, got {other:?}"),
+        }
+        assert_eq!(s.instantiate(Policy::Drf), Policy::Drf);
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let s = Scenario::new(ClusterKind::Rack16, 3, 5);
+        let a = s.run(Policy::themis_default());
+        let b = s.run(Policy::themis_default());
+        assert_eq!(a, b);
+        assert!(a.scheduling_rounds > 0);
+    }
+}

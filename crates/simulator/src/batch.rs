@@ -1,0 +1,95 @@
+//! Parallel fan-out of independent simulation runs.
+//!
+//! Every [`Engine`](crate::engine::Engine) run is self-contained — the
+//! engine owns its cluster, app runtimes and event queue, and the whole
+//! simulator is deterministic — so a *batch* of runs shards perfectly
+//! across OS threads with no shared mutable state. [`run_batch`] is the
+//! entry point the experiment harness uses to execute a scenario matrix:
+//! it hands task indices to a pool of scoped worker threads and collects
+//! the results **in task order**, so the output is byte-for-byte identical
+//! regardless of the number of workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `tasks` independent jobs, at most `jobs` at a time, and returns
+/// their results in task order.
+///
+/// `run(i)` must be a pure function of the task index `i` (each call
+/// typically builds and runs one simulation engine). Workers pull indices
+/// from a shared counter, so long tasks do not starve short ones behind a
+/// fixed pre-partition.
+///
+/// With `jobs <= 1` (or fewer than two tasks) everything runs on the
+/// calling thread; the result is identical either way, which is what the
+/// sweep determinism test pins down.
+///
+/// # Panics
+/// Propagates the panic of any task (scoped threads re-raise on join).
+pub fn run_batch<T, F>(tasks: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1);
+    if jobs == 1 || tasks <= 1 {
+        return (0..tasks).map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..tasks).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(tasks) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let result = run(i);
+                slots.lock().expect("batch slots mutex poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("batch slots mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every task index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_batch(17, 1, |i| i * i);
+        let parallel = run_batch(17, 4, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[16], 256);
+    }
+
+    #[test]
+    fn results_are_in_task_order() {
+        // Make early tasks slower than late ones so out-of-order completion
+        // is likely under real parallelism.
+        let out = run_batch(8, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((8 - i as u64) * 2));
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        assert_eq!(run_batch(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_batch(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_clamped() {
+        assert_eq!(run_batch(3, 64, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_batch(3, 0, |i| i), vec![0, 1, 2]);
+    }
+}

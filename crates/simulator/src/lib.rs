@@ -18,13 +18,17 @@
 //!   fairness ρ, max fairness, Jain's index, placement score, GPU time and
 //!   app completion times.
 //!
-//! The simulator is single-threaded and fully deterministic: identical
-//! inputs (trace, cluster, scheduler, config) produce identical reports.
+//! Each run is single-threaded and fully deterministic: identical inputs
+//! (trace, cluster, scheduler, config) produce identical reports. Because
+//! runs share no state, *batches* of runs shard cleanly across threads —
+//! [`batch::run_batch`] is the parallel fan-out the experiment harness
+//! builds its scenario-matrix sweeps on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod app_runtime;
+pub mod batch;
 pub mod engine;
 pub mod events;
 pub mod metrics;
@@ -33,6 +37,7 @@ pub mod scheduler;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::app_runtime::AppRuntime;
+    pub use crate::batch::run_batch;
     pub use crate::engine::{Engine, SimConfig};
     pub use crate::metrics::{AppOutcome, SimReport};
     pub use crate::scheduler::{pick_gpus_packed, split_among_jobs, AllocationDecision, Scheduler};

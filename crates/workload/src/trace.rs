@@ -51,6 +51,19 @@ pub struct TraceConfig {
     pub duration_scale: f64,
     /// Probability that a job requires 4 GPUs (the remainder require 2).
     pub four_gpu_fraction: f64,
+    /// Fraction of apps that arrive in a *burst*: their inter-arrival gap is
+    /// divided by [`TraceConfig::burst_factor`]. Zero (the default) disables
+    /// burstiness and leaves the arrival process exactly Poisson — and, by
+    /// construction, leaves the RNG stream untouched, so existing pinned
+    /// seeds keep producing the exact same traces.
+    pub burst_fraction: f64,
+    /// How much a bursty arrival compresses its inter-arrival gap (≥ 1).
+    /// Only consulted when [`TraceConfig::burst_fraction`] is positive.
+    pub burst_factor: f64,
+    /// Fraction of jobs that demand 8 GPUs — a *heavy* heterogeneous tail on
+    /// top of the paper's 4/2-GPU mix. Zero (the default) reproduces the
+    /// paper's workload byte-for-byte.
+    pub heavy_job_fraction: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -67,6 +80,9 @@ impl Default for TraceConfig {
             duration_sigma: 0.9,
             duration_scale: 1.0,
             four_gpu_fraction: 0.8,
+            burst_fraction: 0.0,
+            burst_factor: 8.0,
+            heavy_job_fraction: 0.0,
             seed: 42,
         }
     }
@@ -109,6 +125,36 @@ impl TraceConfig {
         self.seed = seed;
         self
     }
+
+    /// Makes `fraction` of the apps arrive in bursts whose inter-arrival
+    /// gap is divided by `factor` (scenario-matrix "bursty" knob).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `[0, 1]` or `factor < 1`.
+    pub fn with_burstiness(mut self, fraction: f64, factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "burst fraction must be in [0, 1]"
+        );
+        assert!(factor >= 1.0, "burst factor must be >= 1");
+        self.burst_fraction = fraction;
+        self.burst_factor = factor;
+        self
+    }
+
+    /// Makes `fraction` of the jobs demand 8 GPUs (scenario-matrix
+    /// "heterogeneous demand" knob).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn with_heavy_job_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "heavy-job fraction must be in [0, 1]"
+        );
+        self.heavy_job_fraction = fraction;
+        self
+    }
 }
 
 /// Deterministic synthetic trace generator.
@@ -135,10 +181,16 @@ impl TraceGenerator {
         let mut apps = Vec::with_capacity(self.config.num_apps);
         let mut arrival = Time::ZERO;
         for app_idx in 0..self.config.num_apps {
-            arrival += Time::minutes(sample_exponential(
-                &mut self.rng,
-                self.config.mean_interarrival.as_minutes(),
-            ));
+            // The burst draw only happens when burstiness is enabled, so the
+            // default configuration consumes the same RNG stream as before
+            // the knob existed (pinned seeds stay pinned).
+            let mut mean = self.config.mean_interarrival.as_minutes();
+            if self.config.burst_fraction > 0.0
+                && self.rng.gen::<f64>() < self.config.burst_fraction
+            {
+                mean /= self.config.burst_factor.max(1.0);
+            }
+            arrival += Time::minutes(sample_exponential(&mut self.rng, mean));
             apps.push(self.generate_app(AppId(app_idx as u32), arrival));
         }
         apps
@@ -149,10 +201,25 @@ impl TraceGenerator {
         let network_intensive = self.rng.gen::<f64>() < self.config.network_intensive_fraction;
         let model = self.pick_model(network_intensive);
         let num_jobs = self.sample_num_jobs();
-        let gpu_dist = Discrete::new([
-            (4usize, self.config.four_gpu_fraction),
-            (2usize, 1.0 - self.config.four_gpu_fraction),
-        ]);
+        // With a heavy-job tail the 4/2-GPU mix is rescaled to make room;
+        // either way a sample consumes exactly one uniform draw, so
+        // `heavy_job_fraction = 0` reproduces the paper's workload exactly.
+        let heavy = self.config.heavy_job_fraction;
+        let gpu_dist = if heavy > 0.0 {
+            Discrete::new([
+                (8usize, heavy),
+                (4usize, (1.0 - heavy) * self.config.four_gpu_fraction),
+                (
+                    2usize,
+                    (1.0 - heavy) * (1.0 - self.config.four_gpu_fraction),
+                ),
+            ])
+        } else {
+            Discrete::new([
+                (4usize, self.config.four_gpu_fraction),
+                (2usize, 1.0 - self.config.four_gpu_fraction),
+            ])
+        };
         let jobs: Vec<JobSpec> = (0..num_jobs)
             .map(|job_idx| {
                 let gpus = gpu_dist.sample(&mut self.rng);
@@ -418,6 +485,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn disabled_knobs_do_not_perturb_the_rng_stream() {
+        // Explicitly setting the new knobs to their "off" values must yield
+        // the exact trace the pre-knob generator produced.
+        let plain = TraceGenerator::new(TraceConfig::default()).generate();
+        let zeroed = TraceGenerator::new(
+            TraceConfig::default()
+                .with_burstiness(0.0, 16.0)
+                .with_heavy_job_fraction(0.0),
+        )
+        .generate();
+        assert_eq!(plain, zeroed);
+    }
+
+    #[test]
+    fn bursty_arrivals_compress_the_schedule() {
+        let plain = TraceGenerator::new(TraceConfig::default().with_num_apps(300)).generate();
+        let bursty = TraceGenerator::new(
+            TraceConfig::default()
+                .with_num_apps(300)
+                .with_burstiness(0.8, 16.0),
+        )
+        .generate();
+        let makespan = |apps: &[AppSpec]| apps.last().unwrap().arrival.as_minutes();
+        assert!(
+            makespan(&bursty) < makespan(&plain) * 0.6,
+            "bursty arrival span {} should be well under plain span {}",
+            makespan(&bursty),
+            makespan(&plain)
+        );
+        let mut prev = Time::ZERO;
+        for app in &bursty {
+            assert!(app.arrival >= prev);
+            prev = app.arrival;
+        }
+    }
+
+    #[test]
+    fn heavy_jobs_appear_at_the_configured_rate() {
+        let apps = TraceGenerator::new(
+            TraceConfig::default()
+                .with_num_apps(100)
+                .with_heavy_job_fraction(0.3),
+        )
+        .generate();
+        let jobs: Vec<_> = apps.iter().flat_map(|a| a.jobs.iter()).collect();
+        let heavy = jobs.iter().filter(|j| j.max_parallelism == 8).count();
+        let frac = heavy as f64 / jobs.len() as f64;
+        assert!((frac - 0.3).abs() < 0.08, "heavy-job fraction {frac}");
+        // The 4-vs-2 mix must survive underneath the heavy tail.
+        assert!(jobs.iter().any(|j| j.max_parallelism == 4));
+        assert!(jobs.iter().any(|j| j.max_parallelism == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst factor")]
+    fn burst_factor_below_one_rejected() {
+        let _ = TraceConfig::default().with_burstiness(0.5, 0.5);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property test: every scheduling policy conserves GPUs.
+//!
+//! A `ConservationGuard` wraps the policy under test and audits every
+//! scheduling round *before* the engine applies it: no decision may hand
+//! out a GPU that is not currently free, no GPU may be granted twice in
+//! one round, every granted GPU must exist in the cluster topology, and
+//! the grand total (already allocated + granted this round) can never
+//! exceed cluster capacity. Scenarios come from the scenario-matrix
+//! generator with randomized axis values, so the invariant is exercised
+//! across contention levels, fairness knobs, leases, bursty arrivals and
+//! heavy 8-GPU jobs — for Themis and all four baselines.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use themis_bench::policies::Policy;
+use themis_bench::scenarios::{ClusterKind, Matrix, Scenario};
+use themis_cluster::cluster::Cluster;
+use themis_cluster::ids::{AppId, GpuId};
+use themis_cluster::time::Time;
+use themis_sim::app_runtime::AppRuntime;
+use themis_sim::engine::{Engine, SimConfig};
+use themis_sim::scheduler::{AllocationDecision, Scheduler};
+
+/// Scheduler wrapper that panics the moment the inner policy's decisions
+/// would violate GPU conservation.
+struct ConservationGuard {
+    inner: Box<dyn Scheduler>,
+}
+
+impl Scheduler for ConservationGuard {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn schedule(
+        &mut self,
+        now: Time,
+        cluster: &Cluster,
+        apps: &BTreeMap<AppId, AppRuntime>,
+    ) -> Vec<AllocationDecision> {
+        let decisions = self.inner.schedule(now, cluster, apps);
+        let free: BTreeSet<GpuId> = cluster.free_gpus().into_iter().collect();
+        let mut granted: BTreeSet<GpuId> = BTreeSet::new();
+        for decision in &decisions {
+            for gpu in &decision.gpus {
+                assert!(
+                    cluster.spec().machine_of(*gpu).is_some(),
+                    "{} granted nonexistent {gpu:?} to app {:?} at t={now:?}",
+                    self.inner.name(),
+                    decision.app,
+                );
+                assert!(
+                    free.contains(gpu),
+                    "{} granted non-free {gpu:?} to app {:?} at t={now:?}",
+                    self.inner.name(),
+                    decision.app,
+                );
+                assert!(
+                    granted.insert(*gpu),
+                    "{} granted {gpu:?} twice in one round at t={now:?}",
+                    self.inner.name(),
+                );
+            }
+        }
+        assert!(
+            cluster.allocated_gpus() + granted.len() <= cluster.total_gpus(),
+            "{} over-committed the cluster at t={now:?}: {} allocated + {} granted > {} total",
+            self.inner.name(),
+            cluster.allocated_gpus(),
+            granted.len(),
+            cluster.total_gpus(),
+        );
+        decisions
+    }
+}
+
+/// The randomized scenario pool: the matrix generator expanded over wide
+/// axis values, including the new bursty/heavy workload knobs.
+fn property_cells() -> Vec<(Scenario, Policy)> {
+    let matrix = Matrix {
+        apps: vec![2, 4],
+        contention: vec![1.0, 4.0],
+        fairness_knob: vec![0.2, 0.8],
+        lease_minutes: vec![5.0, 20.0],
+        burst_fraction: vec![0.0, 0.7],
+        heavy_job_fraction: vec![0.0, 0.4],
+        seeds: vec![11, 29],
+        ..Matrix::point("property", ClusterKind::Rack16, 4, 11)
+    };
+    matrix.cells()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random cells of the property matrix keep GPUs conserved round by
+    /// round. The horizon is capped: conservation is a per-round
+    /// invariant, so auditing a prefix of a long run still proves it.
+    #[test]
+    fn policies_conserve_gpus_across_random_scenarios(index in 0usize..5000) {
+        let cells = property_cells();
+        let (scenario, policy) = cells[index % cells.len()].clone();
+        let guard = ConservationGuard {
+            inner: scenario.instantiate(policy).build(),
+        };
+        let cluster = Cluster::new(scenario.cluster.spec());
+        let config = SimConfig::default()
+            .with_lease(Time::minutes(scenario.lease_minutes))
+            .with_max_sim_time(Time::minutes(30_000.0));
+        let report = Engine::new(cluster, scenario.trace(), guard, config).run();
+        prop_assert!(
+            report.scheduling_rounds > 0,
+            "guarded run of {} on {} never scheduled",
+            policy.name(),
+            scenario.id(),
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The sweep engine's CI contract, pinned as tests:
+//!
+//! * the parallel batch runner produces **byte-identical** canonical JSON
+//!   to the serial runner on the smoke matrix (`--jobs 4` vs `--jobs 1`),
+//! * the canonical JSON round-trips through the parser,
+//! * the smoke sweep matches the committed `BENCH_BASELINE.json` — the
+//!   same gate the `scenario-matrix` CI job enforces, so a behavior change
+//!   that forgets to regenerate the baseline fails here first.
+
+use themis_bench::report::{compare_reports, SweepReport};
+use themis_bench::scenarios::Matrix;
+use themis_bench::sweep::run_sweep;
+
+/// Serial and parallel runs of the smoke matrix must render to the same
+/// bytes; re-running must be a fixed point (full determinism).
+#[test]
+fn parallel_smoke_sweep_is_byte_identical_to_serial() {
+    let matrix = Matrix::smoke();
+    let serial = run_sweep(&matrix, 1);
+    let parallel = run_sweep(&matrix, 4);
+    let serial_text = serial.to_canonical_string();
+    let parallel_text = parallel.to_canonical_string();
+    assert_eq!(
+        serial_text, parallel_text,
+        "--jobs 4 must emit the same canonical JSON as --jobs 1"
+    );
+
+    // Canonical JSON round-trips losslessly.
+    let back = SweepReport::parse_str(&serial_text).expect("canonical JSON parses");
+    assert_eq!(back.to_canonical_string(), serial_text);
+    assert_eq!(back.cells.len(), matrix.cells().len());
+
+    // And the run matches the committed baseline — the CI regression gate.
+    let baseline_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_BASELINE.json"
+    ))
+    .expect("BENCH_BASELINE.json is committed at the repo root");
+    let baseline = SweepReport::parse_str(&baseline_text).expect("baseline parses");
+    let diffs = compare_reports(&serial, &baseline, 1e-9);
+    assert!(
+        diffs.is_empty(),
+        "smoke sweep diverged from BENCH_BASELINE.json — if the behavior change is intentional, \
+         regenerate it (see README 'Running scenario sweeps'):\n{}",
+        diffs.join("\n")
+    );
+    // The committed baseline must itself be canonical (regenerated via
+    // `sweep --out`, not hand-edited).
+    assert_eq!(
+        baseline.to_canonical_string(),
+        baseline_text,
+        "BENCH_BASELINE.json is not in canonical form"
+    );
+}
