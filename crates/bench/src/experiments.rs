@@ -133,7 +133,7 @@ pub fn run_policy(
     sim: SimConfig,
 ) -> SimReport {
     let cluster = Cluster::new(cluster_spec.clone());
-    Engine::new(cluster, trace, policy.build(), sim).run()
+    Engine::new(cluster, trace, policy.build_with(&sim), sim).run()
 }
 
 /// The base scenario of the 256-GPU simulated experiments (§8.2): the

@@ -2,7 +2,9 @@
 
 use themis_baselines::{Drf, Gandiva, Slaq, Tiresias};
 use themis_core::config::ThemisConfig;
+use themis_core::runtime::DistributedThemisScheduler;
 use themis_core::scheduler::ThemisScheduler;
+use themis_sim::engine::SimConfig;
 use themis_sim::scheduler::Scheduler;
 
 /// A scheduling policy that can be instantiated for an experiment run.
@@ -10,6 +12,11 @@ use themis_sim::scheduler::Scheduler;
 pub enum Policy {
     /// Themis with a given configuration.
     Themis(ThemisConfig),
+    /// Themis in distributed mode: the same auction, but every round runs
+    /// as the §3.1 message exchange over the fault-injecting transport
+    /// (`themis_core::runtime`). Picks up the scenario's `FaultConfig`
+    /// through [`Policy::build_with`].
+    ThemisDist(ThemisConfig),
     /// The Gandiva placement-greedy emulation.
     Gandiva,
     /// The Tiresias least-attained-service emulation.
@@ -26,6 +33,11 @@ impl Policy {
         Policy::Themis(ThemisConfig::default())
     }
 
+    /// Distributed-mode Themis with the paper's recommended defaults.
+    pub fn themis_dist_default() -> Policy {
+        Policy::ThemisDist(ThemisConfig::default())
+    }
+
     /// The four policies compared in the paper's macro-benchmarks
     /// (Figures 5–7), in presentation order.
     pub fn macrobenchmark_set() -> Vec<Policy> {
@@ -37,11 +49,12 @@ impl Policy {
         ]
     }
 
-    /// Every policy the sweep engine can run: Themis plus all four
-    /// baselines, in presentation order.
+    /// Every policy the sweep engine can run: both Themis modes plus all
+    /// four baselines, in presentation order.
     pub fn all() -> Vec<Policy> {
         vec![
             Policy::themis_default(),
+            Policy::themis_dist_default(),
             Policy::Gandiva,
             Policy::Slaq,
             Policy::Tiresias,
@@ -56,16 +69,23 @@ impl Policy {
         Policy::all().into_iter().find(|p| p.name() == name)
     }
 
-    /// Whether this is the Themis auction (the only policy the scenario
-    /// fairness-knob and ρ-error axes apply to).
+    /// Whether this is the Themis auction in either mode (the policies the
+    /// scenario fairness-knob and ρ-error axes apply to).
     pub fn is_themis(&self) -> bool {
-        matches!(self, Policy::Themis(_))
+        matches!(self, Policy::Themis(_) | Policy::ThemisDist(_))
+    }
+
+    /// Whether this is the message-driven distributed mode (the only
+    /// policy the scenario fault axis applies to).
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, Policy::ThemisDist(_))
     }
 
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
             Policy::Themis(_) => "themis",
+            Policy::ThemisDist(_) => "themis-dist",
             Policy::Gandiva => "gandiva",
             Policy::Tiresias => "tiresias",
             Policy::Slaq => "slaq",
@@ -73,10 +93,22 @@ impl Policy {
         }
     }
 
-    /// Instantiates the scheduler.
+    /// Instantiates the scheduler with default engine plumbing (reliable
+    /// transport for distributed mode).
     pub fn build(&self) -> Box<dyn Scheduler> {
+        self.build_with(&SimConfig::default())
+    }
+
+    /// Instantiates the scheduler for a concrete engine configuration.
+    /// Distributed-mode Themis picks up `sim.fault` — this is how a
+    /// scenario's fault axis reaches the transport layer; every other
+    /// policy ignores the engine config.
+    pub fn build_with(&self, sim: &SimConfig) -> Box<dyn Scheduler> {
         match self {
             Policy::Themis(config) => Box::new(ThemisScheduler::new(*config)),
+            Policy::ThemisDist(config) => {
+                Box::new(DistributedThemisScheduler::new(*config, sim.fault))
+            }
             Policy::Gandiva => Box::new(Gandiva::new()),
             Policy::Tiresias => Box::new(Tiresias::new()),
             Policy::Slaq => Box::new(Slaq::new()),
@@ -111,14 +143,24 @@ mod tests {
             assert_eq!(Policy::parse(policy.name()), Some(policy));
         }
         assert_eq!(Policy::parse("nope"), None);
-        assert_eq!(Policy::all().len(), 5);
+        assert_eq!(Policy::all().len(), 6);
     }
 
     #[test]
     fn only_themis_is_themis() {
         assert!(Policy::themis_default().is_themis());
+        assert!(Policy::themis_dist_default().is_themis());
         for policy in [Policy::Gandiva, Policy::Slaq, Policy::Tiresias, Policy::Drf] {
             assert!(!policy.is_themis());
+        }
+    }
+
+    #[test]
+    fn only_dist_is_distributed() {
+        assert!(Policy::themis_dist_default().is_distributed());
+        assert_eq!(Policy::themis_dist_default().build().name(), "themis-dist");
+        for policy in Policy::macrobenchmark_set() {
+            assert!(!policy.is_distributed());
         }
     }
 }

@@ -11,11 +11,14 @@
 
 use crate::json::Json;
 use crate::scenarios::{ClusterKind, Scenario};
+use themis_cluster::time::Time;
+use themis_protocol::transport::FaultConfig;
 use themis_sim::metrics::SimReport;
 
 /// Version stamp of the JSON schema, bumped on incompatible change so a
 /// stale baseline fails loudly instead of diffing nonsense.
-pub const SCHEMA_VERSION: f64 = 1.0;
+/// v2 added the scenario's transport-fault axis (`fault_*` fields).
+pub const SCHEMA_VERSION: f64 = 2.0;
 
 /// The metrics extracted from one simulation run (the paper's §8.1 set).
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +167,23 @@ impl CellReport {
                 "heavy_job_fraction".into(),
                 Json::num(scenario.heavy_job_fraction),
             ),
+            (
+                "fault_drop".into(),
+                Json::num(scenario.fault.drop_probability),
+            ),
+            (
+                "fault_delay_minutes".into(),
+                Json::num(scenario.fault.delay.as_minutes()),
+            ),
+            (
+                "fault_crash_period".into(),
+                Json::num(scenario.fault.crash_period as f64),
+            ),
+            (
+                "fault_crash_rounds".into(),
+                Json::num(scenario.fault.crash_rounds as f64),
+            ),
+            ("fault_seed".into(), Json::num(scenario.fault.seed as f64)),
             ("seed".into(), Json::num(scenario.seed as f64)),
             (
                 "scheduler_seed".into(),
@@ -195,6 +215,33 @@ impl CellReport {
             rho_error: req("rho_error")?,
             burst_fraction: req("burst_fraction")?,
             heavy_job_fraction: req("heavy_job_fraction")?,
+            fault: {
+                // Built as a literal, not via the asserting `with_*`
+                // builders: a malformed baseline must surface as a parse
+                // error, never a panic or a silent `as`-cast clamp.
+                let uint = |key: &str| -> Result<u64, String> {
+                    let v = req(key)?;
+                    if v < 0.0 || v.fract() != 0.0 {
+                        return Err(format!("{key} {v} is not a non-negative integer"));
+                    }
+                    Ok(v as u64)
+                };
+                let drop_probability = req("fault_drop")?;
+                if !(0.0..=1.0).contains(&drop_probability) {
+                    return Err(format!("fault_drop {drop_probability} outside [0, 1]"));
+                }
+                let delay_minutes = req("fault_delay_minutes")?;
+                if delay_minutes.is_nan() || delay_minutes < 0.0 {
+                    return Err(format!("fault_delay_minutes {delay_minutes} is negative"));
+                }
+                FaultConfig {
+                    drop_probability,
+                    delay: Time::minutes(delay_minutes),
+                    seed: uint("fault_seed")?,
+                    crash_period: uint("fault_crash_period")?,
+                    crash_rounds: uint("fault_crash_rounds")?,
+                }
+            },
             seed: req("seed")? as u64,
             scheduler_seed: req("scheduler_seed")? as u64,
         })
@@ -464,7 +511,7 @@ mod tests {
     fn schema_version_mismatch_is_rejected() {
         let text = sample_report()
             .to_canonical_string()
-            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+            .replace("\"schema_version\": 2", "\"schema_version\": 99");
         let err = SweepReport::parse_str(&text).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }

@@ -11,8 +11,8 @@
 //! * [`Matrix`] is a declarative set of axis values whose
 //!   [`expand`](Matrix::expand) takes the cartesian product,
 //! * the named matrices ([`Matrix::smoke`], [`Matrix::full`],
-//!   [`Matrix::lease`], [`Matrix::stress`]) are the sweeps the `sweep`
-//!   binary and CI run.
+//!   [`Matrix::lease`], [`Matrix::stress`], [`Matrix::faults`]) are the
+//!   sweeps the `sweep` binary and CI run.
 //!
 //! The `figN` experiment functions in [`crate::experiments`] are thin views
 //! over scenarios: each figure builds the scenario list for one axis and
@@ -23,6 +23,7 @@ use themis_cluster::cluster::Cluster;
 use themis_cluster::time::Time;
 use themis_cluster::topology::ClusterSpec;
 use themis_core::config::ThemisConfig;
+use themis_protocol::transport::FaultConfig;
 use themis_sim::engine::{Engine, SimConfig};
 use themis_sim::metrics::SimReport;
 use themis_workload::app::AppSpec;
@@ -109,6 +110,12 @@ pub struct Scenario {
     pub burst_fraction: f64,
     /// Fraction of jobs demanding 8 GPUs (trace knob; 0 = paper workload).
     pub heavy_job_fraction: f64,
+    /// Transport fault injection for the distributed-mode policy
+    /// (`themis-dist`): message-drop probability, delivery delay and the
+    /// agent-crash schedule. Ignored by every in-process policy. The
+    /// fault RNG seed is derived from `scheduler_seed` at run time, so a
+    /// cell stays a pure function of its axis values.
+    pub fault: FaultConfig,
     /// Trace-generator seed.
     pub seed: u64,
     /// Seed for the scheduler's internal tie-breaking / error-injection
@@ -132,6 +139,7 @@ impl Scenario {
             rho_error: 0.0,
             burst_fraction: 0.0,
             heavy_job_fraction: 0.0,
+            fault: FaultConfig::reliable(),
             seed,
             scheduler_seed: 0,
         }
@@ -185,11 +193,19 @@ impl Scenario {
         self
     }
 
+    /// Sets the transport fault injection for distributed-mode cells.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Scenario {
+        self.fault = fault;
+        self
+    }
+
     /// A compact, stable identifier encoding every axis value, e.g.
-    /// `testbed50-a8-x2-n0.4-f0.8-l20-e0-b0-h0-s42`.
+    /// `testbed50-a8-x2-n0.4-f0.8-l20-e0-b0-h0-d0-y0-c0x0-q0-s42` (`d` is
+    /// the drop probability, `y` the delivery delay in minutes, `c` the
+    /// crash period × duration, `q` the fault RNG seed).
     pub fn id(&self) -> String {
         format!(
-            "{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-s{}",
+            "{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-q{}-s{}",
             self.cluster.name(),
             self.apps,
             self.contention,
@@ -199,6 +215,11 @@ impl Scenario {
             self.rho_error,
             self.burst_fraction,
             self.heavy_job_fraction,
+            self.fault.drop_probability,
+            self.fault.delay.as_minutes(),
+            self.fault.crash_period,
+            self.fault.crash_rounds,
+            self.fault.seed,
             self.seed
         )
     }
@@ -225,24 +246,38 @@ impl Scenario {
     }
 
     /// The engine configuration: the scenario's lease, the paper's 1-minute
-    /// checkpoint overhead and the experiment harness's 2M-minute horizon.
+    /// checkpoint overhead, the experiment harness's 2M-minute horizon and
+    /// the fault plumbing for distributed-mode cells (the fault RNG is
+    /// seeded from the scheduler seed). Faulty scenarios also enable the
+    /// engine's no-progress retry so a round fully lost to message faults
+    /// is re-attempted instead of stranding the event queue.
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig::default()
+        let mut config = SimConfig::default()
             .with_lease(Time::minutes(self.lease_minutes))
             .with_max_sim_time(Time::minutes(2_000_000.0))
+            .with_faults(
+                self.fault
+                    .with_seed(self.scheduler_seed.wrapping_add(self.fault.seed)),
+            );
+        if !self.fault.is_reliable() {
+            config = config.with_retry_interval(Time::minutes(1.0));
+        }
+        config
     }
 
     /// Applies the scenario's Themis knobs to a policy. Themis picks up the
     /// fairness knob, ρ-error and scheduler seed; baselines are returned
     /// unchanged (they have no tunables).
     pub fn instantiate(&self, policy: Policy) -> Policy {
+        let themis_config = || {
+            ThemisConfig::default()
+                .with_fairness_knob(self.fairness_knob)
+                .with_rho_error(self.rho_error)
+                .with_seed(self.scheduler_seed)
+        };
         match policy {
-            Policy::Themis(_) => Policy::Themis(
-                ThemisConfig::default()
-                    .with_fairness_knob(self.fairness_knob)
-                    .with_rho_error(self.rho_error)
-                    .with_seed(self.scheduler_seed),
-            ),
+            Policy::Themis(_) => Policy::Themis(themis_config()),
+            Policy::ThemisDist(_) => Policy::ThemisDist(themis_config()),
             other => other,
         }
     }
@@ -258,11 +293,12 @@ impl Scenario {
     /// regenerating it per policy.
     pub fn run_on_trace(&self, policy: Policy, trace: Vec<AppSpec>) -> SimReport {
         let cluster = Cluster::new(self.cluster.spec());
+        let config = self.sim_config();
         Engine::new(
             cluster,
             trace,
-            self.instantiate(policy).build(),
-            self.sim_config(),
+            self.instantiate(policy).build_with(&config),
+            config,
         )
         .run()
     }
@@ -297,6 +333,8 @@ pub struct Matrix {
     pub burst_fraction: Vec<f64>,
     /// Heavy-job axis.
     pub heavy_job_fraction: Vec<f64>,
+    /// Transport-fault axis (`themis-dist` only).
+    pub faults: Vec<FaultConfig>,
     /// Seed axis.
     pub seeds: Vec<u64>,
     /// Policies to run on every scenario.
@@ -318,6 +356,7 @@ impl Matrix {
             rho_error: vec![0.0],
             burst_fraction: vec![0.0],
             heavy_job_fraction: vec![0.0],
+            faults: vec![FaultConfig::reliable()],
             seeds: vec![seed],
             policies: Policy::all(),
         }
@@ -375,8 +414,30 @@ impl Matrix {
         }
     }
 
+    /// The control-plane robustness matrix: distributed-mode Themis under
+    /// escalating transport faults (message drops, delivery delay, agent
+    /// crashes), with in-process Themis on the reliable point as the
+    /// degradation reference. Pinned seed — CI gates it exactly against
+    /// `BENCH_FAULTS_BASELINE.json`, so a protocol regression fails fast.
+    pub fn faults() -> Matrix {
+        Matrix {
+            policies: vec![Policy::themis_default(), Policy::themis_dist_default()],
+            contention: vec![2.0],
+            faults: vec![
+                FaultConfig::reliable(),
+                FaultConfig::reliable().with_drop_probability(0.2),
+                FaultConfig::reliable().with_delay(Time::seconds(10.0)),
+                FaultConfig::reliable()
+                    .with_drop_probability(0.3)
+                    .with_delay(Time::seconds(5.0))
+                    .with_crash(5, 2),
+            ],
+            ..Matrix::point("faults", ClusterKind::Rack16, 6, 42)
+        }
+    }
+
     /// Names accepted by [`Matrix::by_name`].
-    pub const NAMED: [&'static str; 4] = ["smoke", "full", "lease", "stress"];
+    pub const NAMED: [&'static str; 5] = ["smoke", "full", "lease", "stress", "faults"];
 
     /// Looks up a named matrix.
     pub fn by_name(name: &str) -> Option<Matrix> {
@@ -385,6 +446,7 @@ impl Matrix {
             "full" => Some(Matrix::full()),
             "lease" => Some(Matrix::lease()),
             "stress" => Some(Matrix::stress()),
+            "faults" => Some(Matrix::faults()),
             _ => None,
         }
     }
@@ -403,20 +465,23 @@ impl Matrix {
                                 for &rho_error in &self.rho_error {
                                     for &burst_fraction in &self.burst_fraction {
                                         for &heavy_job_fraction in &self.heavy_job_fraction {
-                                            for &seed in &self.seeds {
-                                                out.push(Scenario {
-                                                    cluster,
-                                                    apps,
-                                                    contention,
-                                                    network_fraction,
-                                                    fairness_knob,
-                                                    lease_minutes,
-                                                    rho_error,
-                                                    burst_fraction,
-                                                    heavy_job_fraction,
-                                                    seed,
-                                                    scheduler_seed: seed,
-                                                });
+                                            for &fault in &self.faults {
+                                                for &seed in &self.seeds {
+                                                    out.push(Scenario {
+                                                        cluster,
+                                                        apps,
+                                                        contention,
+                                                        network_fraction,
+                                                        fairness_knob,
+                                                        lease_minutes,
+                                                        rho_error,
+                                                        burst_fraction,
+                                                        heavy_job_fraction,
+                                                        fault,
+                                                        seed,
+                                                        scheduler_seed: seed,
+                                                    });
+                                                }
                                             }
                                         }
                                     }
@@ -431,12 +496,15 @@ impl Matrix {
     }
 
     /// The concrete `(scenario, policy)` cells of the sweep, with
-    /// byte-identical baseline re-runs along Themis-only axes deduped: a
-    /// non-Themis policy only runs scenarios holding the *first* value of
-    /// the `fairness_knob` and `rho_error` axes.
+    /// byte-identical baseline re-runs along policy-specific axes deduped:
+    /// a non-Themis policy only runs scenarios holding the *first* value
+    /// of the `fairness_knob` and `rho_error` axes, and a non-distributed
+    /// policy only the first value of the `faults` axis (transport faults
+    /// cannot touch an in-process scheduler).
     pub fn cells(&self) -> Vec<(Scenario, Policy)> {
         let first_knob = self.fairness_knob.first().copied();
         let first_error = self.rho_error.first().copied();
+        let first_fault = self.faults.first().copied();
         let mut out = Vec::new();
         for scenario in self.expand() {
             for &policy in &self.policies {
@@ -444,6 +512,9 @@ impl Matrix {
                     && (Some(scenario.fairness_knob) != first_knob
                         || Some(scenario.rho_error) != first_error)
                 {
+                    continue;
+                }
+                if !policy.is_distributed() && Some(scenario.fault) != first_fault {
                     continue;
                 }
                 out.push((scenario.clone(), policy));
@@ -474,11 +545,16 @@ mod tests {
     fn cells_dedupe_baselines_along_themis_axes() {
         let matrix = Matrix::smoke();
         let cells = matrix.cells();
-        let themis = cells.iter().filter(|(_, p)| p.is_themis()).count();
+        let themis = cells.iter().filter(|(_, p)| p.name() == "themis").count();
+        let dist = cells
+            .iter()
+            .filter(|(_, p)| p.name() == "themis-dist")
+            .count();
         let gandiva = cells.iter().filter(|(_, p)| p.name() == "gandiva").count();
-        // Themis runs every scenario; each baseline skips the extra
-        // fairness-knob value.
+        // Both Themis modes run every scenario; each baseline skips the
+        // extra fairness-knob value.
         assert_eq!(themis, matrix.expand().len());
+        assert_eq!(dist, themis);
         assert_eq!(gandiva, themis / matrix.fairness_knob.len());
         // Every baseline cell uses the first knob value.
         for (scenario, policy) in &cells {
@@ -513,7 +589,19 @@ mod tests {
         let s = Scenario::new(ClusterKind::Testbed50, 8, 7)
             .with_contention(2.0)
             .with_fairness_knob(0.4);
-        assert_eq!(s.id(), "testbed50-a8-x2-n0.4-f0.4-l20-e0-b0-h0-s7");
+        assert_eq!(
+            s.id(),
+            "testbed50-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-q0-s7"
+        );
+        let faulty = s.with_fault(
+            FaultConfig::reliable()
+                .with_drop_probability(0.25)
+                .with_crash(5, 2),
+        );
+        assert_eq!(
+            faulty.id(),
+            "testbed50-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0.25-y0-c5x2-q0-s7"
+        );
     }
 
     #[test]
@@ -530,7 +618,42 @@ mod tests {
             }
             other => panic!("expected Themis, got {other:?}"),
         }
+        match s.instantiate(Policy::themis_dist_default()) {
+            Policy::ThemisDist(cfg) => {
+                assert_eq!(cfg.fairness_knob, 0.3);
+                assert_eq!(cfg.seed, 9);
+            }
+            other => panic!("expected ThemisDist, got {other:?}"),
+        }
         assert_eq!(s.instantiate(Policy::Drf), Policy::Drf);
+    }
+
+    #[test]
+    fn fault_axis_reaches_only_distributed_cells() {
+        let matrix = Matrix::faults();
+        let cells = matrix.cells();
+        // In-process Themis runs only the reliable (first) fault value;
+        // themis-dist runs the whole axis.
+        let dist = cells.iter().filter(|(_, p)| p.is_distributed()).count();
+        let in_process = cells.iter().filter(|(_, p)| !p.is_distributed()).count();
+        assert_eq!(dist, matrix.faults.len());
+        assert_eq!(in_process, 1);
+        for (scenario, policy) in &cells {
+            if !policy.is_distributed() {
+                assert!(scenario.fault.is_reliable());
+            }
+        }
+        // Faulty scenarios enable the engine retry and seed the fault RNG.
+        let faulty = Scenario::new(ClusterKind::Rack16, 2, 1)
+            .with_scheduler_seed(5)
+            .with_fault(FaultConfig::reliable().with_drop_probability(0.5));
+        let config = faulty.sim_config();
+        assert!(config.retry_interval.is_some());
+        assert_eq!(config.fault.seed, 5);
+        assert!(Scenario::new(ClusterKind::Rack16, 2, 1)
+            .sim_config()
+            .retry_interval
+            .is_none());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`scheduler`] — [`scheduler::ThemisScheduler`], which plugs the whole
 //!   thing into the `themis-sim` engine so it can be compared head-to-head
 //!   with the baselines,
+//! * [`runtime`] — [`runtime::DistributedThemisScheduler`], the same
+//!   policy running every auction round as the paper's five-step message
+//!   exchange over `themis-protocol`'s fault-injecting transport (§3.1,
+//!   §7), with a bid deadline so silent Agents miss rounds instead of
+//!   stalling them,
 //! * [`config`] — the tunables the paper studies: the fairness knob `f`,
 //!   the lease duration, and bid-valuation error injection.
 //!
@@ -45,6 +50,7 @@ pub mod arbiter;
 pub mod auction;
 pub mod config;
 pub mod rho;
+pub mod runtime;
 pub mod scheduler;
 
 /// Commonly used items, re-exported for convenience.
@@ -54,6 +60,7 @@ pub mod prelude {
     pub use crate::auction::{partial_allocation, AuctionResult, SolverKind};
     pub use crate::config::ThemisConfig;
     pub use crate::rho::{estimate_rho, RhoEstimate};
+    pub use crate::runtime::{DistStats, DistributedThemisScheduler};
     pub use crate::scheduler::ThemisScheduler;
 }
 

@@ -1,0 +1,586 @@
+//! Message-driven distributed-mode Themis: the full §3.1 auction round
+//! over the fault-injecting transport.
+//!
+//! [`ThemisScheduler`](crate::scheduler::ThemisScheduler) calls the Arbiter
+//! and the per-app Agents as plain Rust objects. This module instead runs
+//! every scheduling round as the paper's five-step message exchange
+//! (§3.1, Figure 3a; §7) through [`themis_protocol::transport`] endpoints —
+//! one duplex [`InMemoryLink`] per app Agent:
+//!
+//! 1. Arbiter → all Agents: `QueryRho { round }`
+//! 2. Agents → Arbiter: `Rho(RhoReport)`
+//! 3. Arbiter → worst-off `1 − f` Agents: `Offer(OfferMsg)`
+//! 4. Agents → Arbiter: `Bid { round, table }` (or `Pass`)
+//! 5. Arbiter → winning Agents: `Win(WinNotification)`
+//!
+//! plus `LeaseExpired` notifications for GPUs reclaimed between rounds.
+//!
+//! Every round has a **bid deadline**: the Arbiter collects replies that
+//! are visible by `round start + bid_deadline` and runs the auction over
+//! whatever arrived. A dropped or over-delayed message therefore makes its
+//! Agent *miss the round* — it is simply queried again next round — rather
+//! than wedging the engine, which is the paper's robustness requirement
+//! for a slow or silent Agent. A `Win` notification that is lost in
+//! transit voids the grant: the GPUs stay free and are re-auctioned, so no
+//! GPU is ever leased to an app that never learned about it.
+//!
+//! Time model: a round executes at one engine instant `now`. Each message
+//! exchange is stamped at `now`; the per-link delivery delay pushes
+//! visibility forward, Agents react at `now + delay`, and the Arbiter
+//! drains at the deadline. A request/reply exchange therefore completes
+//! iff `2 × delay ≤ bid_deadline` (and neither direction dropped the
+//! message).
+//!
+//! With [`FaultConfig::reliable`] the message flow is lossless and
+//! instantaneous, and the scheduler reproduces the in-process
+//! `ThemisScheduler`'s decisions — and hence its `SimReport` — exactly;
+//! `tests/dist_equivalence.rs` pins that equivalence over the full smoke
+//! matrix.
+
+use crate::agent::Agent;
+use crate::arbiter::{AppStatus, Arbiter};
+use crate::config::ThemisConfig;
+use crate::scheduler::materialize_grant;
+use std::collections::{BTreeMap, BTreeSet};
+use themis_cluster::cluster::Cluster;
+use themis_cluster::ids::{AppId, GpuId, JobId};
+use themis_cluster::time::Time;
+use themis_protocol::bid::BidTable;
+use themis_protocol::messages::{
+    AgentToArbiter, ArbiterToAgent, OfferMsg, RhoReport, WinNotification,
+};
+use themis_protocol::transport::{Endpoint, FaultConfig, InMemoryLink, Transport};
+use themis_sim::app_runtime::AppRuntime;
+use themis_sim::scheduler::{AllocationDecision, Scheduler};
+
+/// Counters describing how the message flow fared across rounds. Purely
+/// observational — used by tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Rounds attempted (a round with an empty offer is not attempted).
+    pub rounds: u64,
+    /// ρ queries whose report never arrived by the bid deadline.
+    pub missed_rho_reports: u64,
+    /// Offers whose bid (or pass) never arrived by the bid deadline.
+    pub missed_bids: u64,
+    /// Win notifications lost in transit; their grants were voided.
+    pub voided_wins: u64,
+    /// Messages discarded because they belonged to an earlier round.
+    pub stale_messages: u64,
+    /// Agent-rounds spent crashed.
+    pub crashed_agent_rounds: u64,
+}
+
+/// The Agent process: reacts to Arbiter messages arriving on its endpoint.
+struct AgentNode {
+    agent: Agent,
+    endpoint: Endpoint<AgentToArbiter, ArbiterToAgent>,
+    /// The node is offline through the end of round `crashed_until - 1`.
+    crashed_until: u64,
+    /// Win notifications received this round (drained by the arbiter loop
+    /// to learn which grants were actually delivered).
+    delivered_wins: Vec<WinNotification>,
+    /// Lease-expiry notices observed over the node's lifetime.
+    lease_notices: u64,
+    /// Stale (earlier-round) messages the node discarded.
+    stale: u64,
+}
+
+impl AgentNode {
+    /// Drains every message visible at `now` and reacts: answer the
+    /// current round's ρ query, bid on (or pass) the current round's
+    /// offer, and record Win / LeaseExpired notifications.
+    fn poll(&mut self, now: Time, round: u64, runtime: &AppRuntime, cluster: &Cluster) {
+        let app = self.agent.app;
+        for msg in self.endpoint.drain(now) {
+            match msg {
+                ArbiterToAgent::QueryRho { round: r } if r == round => {
+                    let rho = self.agent.current_rho(now, runtime, cluster).rho;
+                    let _ = self
+                        .endpoint
+                        .send(now, AgentToArbiter::Rho(RhoReport { round, app, rho }));
+                }
+                ArbiterToAgent::Offer(offer) if offer.round == round => {
+                    let table = self
+                        .agent
+                        .prepare_bid(now, runtime, cluster, &offer.resources);
+                    let reply = if table.is_empty() {
+                        AgentToArbiter::Pass { round, app }
+                    } else {
+                        AgentToArbiter::Bid { round, table }
+                    };
+                    let _ = self.endpoint.send(now, reply);
+                }
+                ArbiterToAgent::Win(win) if win.round == round => {
+                    self.delivered_wins.push(win);
+                }
+                ArbiterToAgent::LeaseExpired { .. } => {
+                    self.lease_notices += 1;
+                }
+                // A query, offer or win from a round whose deadline has
+                // passed: the auction it belonged to is over, so reacting
+                // would only inject confusion. Count and drop.
+                ArbiterToAgent::QueryRho { .. }
+                | ArbiterToAgent::Offer(_)
+                | ArbiterToAgent::Win(_) => {
+                    self.stale += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The Themis cross-app scheduler running each auction round as a message
+/// exchange over fault-injecting transport (see the module docs).
+pub struct DistributedThemisScheduler {
+    config: ThemisConfig,
+    fault: FaultConfig,
+    bid_deadline: Time,
+    arbiter: Arbiter,
+    round: u64,
+    nodes: BTreeMap<AppId, AgentNode>,
+    /// Arbiter-side endpoint of each app's duplex link.
+    links: BTreeMap<AppId, Endpoint<ArbiterToAgent, AgentToArbiter>>,
+    /// Per-app GPU sets as last observed, for LeaseExpired notifications.
+    observed_gpus: BTreeMap<AppId, BTreeSet<GpuId>>,
+    stats: DistStats,
+}
+
+impl std::fmt::Debug for DistributedThemisScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedThemisScheduler")
+            .field("config", &self.config)
+            .field("fault", &self.fault)
+            .field("round", &self.round)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistributedThemisScheduler {
+    /// Creates a distributed-mode scheduler with the given Themis tunables
+    /// and per-link fault injection. `FaultConfig::reliable()` reproduces
+    /// the in-process [`ThemisScheduler`](crate::scheduler::ThemisScheduler)
+    /// exactly.
+    pub fn new(config: ThemisConfig, fault: FaultConfig) -> Self {
+        DistributedThemisScheduler {
+            arbiter: Arbiter::new(config),
+            fault,
+            bid_deadline: Time::seconds(30.0),
+            round: 0,
+            nodes: BTreeMap::new(),
+            links: BTreeMap::new(),
+            observed_gpus: BTreeMap::new(),
+            stats: DistStats::default(),
+            config,
+        }
+    }
+
+    /// Overrides the per-round bid deadline (default 30 s, matching the
+    /// Arbiter's offer `reply_by`).
+    #[must_use]
+    pub fn with_bid_deadline(mut self, deadline: Time) -> Self {
+        assert!(deadline > Time::ZERO, "bid deadline must be positive");
+        self.bid_deadline = deadline;
+        self
+    }
+
+    /// The Themis configuration in use.
+    pub fn config(&self) -> &ThemisConfig {
+        &self.config
+    }
+
+    /// The fault injection applied to every Agent link.
+    pub fn fault(&self) -> &FaultConfig {
+        &self.fault
+    }
+
+    /// Message-flow counters accumulated so far.
+    pub fn stats(&self) -> &DistStats {
+        &self.stats
+    }
+
+    /// Rounds attempted so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Per-direction link fault config: same drop/delay knobs, but a
+    /// distinct RNG stream per app and direction so drops decorrelate.
+    fn link_fault(&self, app: AppId, direction: u64) -> FaultConfig {
+        let mix = self
+            .fault
+            .seed
+            .wrapping_add(u64::from(app.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(direction);
+        self.fault.with_seed(mix)
+    }
+
+    /// Lazily connects an Agent node for `app`.
+    fn ensure_node(&mut self, app: AppId) {
+        if self.nodes.contains_key(&app) {
+            return;
+        }
+        let (arbiter_end, agent_end) = InMemoryLink::pair::<ArbiterToAgent, AgentToArbiter>(
+            self.link_fault(app, 0),
+            self.link_fault(app, 1),
+        );
+        self.links.insert(app, arbiter_end);
+        self.nodes.insert(
+            app,
+            AgentNode {
+                agent: Agent::new(app, &self.config),
+                endpoint: agent_end,
+                crashed_until: 0,
+                delivered_wins: Vec::new(),
+                lease_notices: 0,
+                stale: 0,
+            },
+        );
+    }
+
+    /// Crash injection: every `crash_period`-th round, the next node in
+    /// app-id order goes offline for `crash_rounds` rounds.
+    fn apply_crash_schedule(&mut self, round: u64) {
+        if self.fault.crash_period == 0 || self.fault.crash_rounds == 0 || self.nodes.is_empty() {
+            return;
+        }
+        if round.is_multiple_of(self.fault.crash_period) {
+            let victim_idx = (round / self.fault.crash_period) as usize % self.nodes.len();
+            let victim = *self.nodes.keys().nth(victim_idx).expect("index in range");
+            let node = self.nodes.get_mut(&victim).expect("node exists");
+            node.crashed_until = node.crashed_until.max(round + self.fault.crash_rounds);
+        }
+        self.stats.crashed_agent_rounds += self
+            .nodes
+            .values()
+            .filter(|n| n.crashed_until > round)
+            .count() as u64;
+    }
+
+    /// Notifies Agents of GPUs they lost since the previous round (lease
+    /// expiry, job completion or HPO kill — all reclamations look the same
+    /// from the Agent's side).
+    fn send_lease_notices(&mut self, now: Time, cluster: &Cluster) {
+        for (&app, link) in &self.links {
+            let current: BTreeSet<GpuId> = cluster.gpus_of_app(app).iter().collect();
+            if let Some(previous) = self.observed_gpus.get(&app) {
+                let lost: Vec<GpuId> = previous.difference(&current).copied().collect();
+                if !lost.is_empty() {
+                    let _ = link.send(
+                        now,
+                        ArbiterToAgent::LeaseExpired {
+                            gpus: lost,
+                            at: now,
+                        },
+                    );
+                }
+            }
+            self.observed_gpus.insert(app, current);
+        }
+    }
+}
+
+impl Scheduler for DistributedThemisScheduler {
+    fn name(&self) -> &'static str {
+        "themis-dist"
+    }
+
+    fn schedule(
+        &mut self,
+        now: Time,
+        cluster: &Cluster,
+        apps: &BTreeMap<AppId, AppRuntime>,
+    ) -> Vec<AllocationDecision> {
+        let offer = cluster.free_vector();
+        if offer.is_empty() {
+            return Vec::new();
+        }
+        let round = self.round;
+        self.round += 1;
+        self.stats.rounds += 1;
+
+        let schedulable: Vec<AppId> = apps
+            .values()
+            .filter(|a| a.is_schedulable(now))
+            .map(|a| a.id())
+            .collect();
+        for &app in &schedulable {
+            self.ensure_node(app);
+        }
+        self.apply_crash_schedule(round);
+        self.send_lease_notices(now, cluster);
+
+        let deadline = now + self.bid_deadline;
+        // When Agents get to react: one link delay after the send, but
+        // never past the deadline (a reply prepared after the deadline
+        // could not influence this round anyway).
+        let agent_poll = (now + self.fault.delay).min(deadline);
+
+        // Steps 1+2: query every schedulable Agent for ρ; live Agents
+        // react at `agent_poll`; the Arbiter collects reports visible by
+        // the deadline.
+        for &app in &schedulable {
+            let _ = self.links[&app].send(now, ArbiterToAgent::QueryRho { round });
+        }
+        let mut rhos: BTreeMap<AppId, f64> = BTreeMap::new();
+        for &app in &schedulable {
+            let node = self.nodes.get_mut(&app).expect("node exists");
+            if node.crashed_until > round {
+                continue;
+            }
+            node.poll(agent_poll, round, &apps[&app], cluster);
+        }
+        for &app in &schedulable {
+            for msg in self.links[&app].drain(deadline) {
+                match msg {
+                    AgentToArbiter::Rho(report) if report.round == round => {
+                        rhos.insert(report.app, report.rho);
+                    }
+                    _ => self.stats.stale_messages += 1,
+                }
+            }
+            if !rhos.contains_key(&app) {
+                self.stats.missed_rho_reports += 1;
+            }
+        }
+
+        // Apps that answered this round form the auction's world view;
+        // everyone else is retried next round.
+        let mut statuses: Vec<AppStatus> = Vec::new();
+        for (&app, &rho) in &rhos {
+            let runtime = &apps[&app];
+            statuses.push(AppStatus {
+                app,
+                rho,
+                unmet_demand: runtime.unmet_demand(cluster),
+                footprint: cluster.gpus_of_app(app).machines(cluster.spec()),
+            });
+        }
+        if statuses.iter().all(|s| s.unmet_demand == 0) {
+            return Vec::new();
+        }
+
+        // Steps 3+4: offer to the worst-off 1−f fraction, collect bids.
+        let participants = self.arbiter.select_participants(&statuses);
+        let offer_msg = OfferMsg {
+            round,
+            now,
+            resources: offer.clone(),
+            reply_by: deadline,
+        };
+        for &app in &participants {
+            let _ = self.links[&app].send(now, ArbiterToAgent::Offer(offer_msg.clone()));
+        }
+        for &app in &participants {
+            let node = self.nodes.get_mut(&app).expect("node exists");
+            if node.crashed_until > round {
+                continue;
+            }
+            node.poll(agent_poll, round, &apps[&app], cluster);
+        }
+        let mut tables: BTreeMap<AppId, BidTable> = BTreeMap::new();
+        let mut passed: BTreeSet<AppId> = BTreeSet::new();
+        for &app in &participants {
+            for msg in self.links[&app].drain(deadline) {
+                match msg {
+                    AgentToArbiter::Bid { round: r, table } if r == round => {
+                        tables.insert(table.app, table);
+                    }
+                    AgentToArbiter::Pass { round: r, app } if r == round => {
+                        passed.insert(app);
+                    }
+                    _ => self.stats.stale_messages += 1,
+                }
+            }
+            if !tables.contains_key(&app) && !passed.contains(&app) {
+                self.stats.missed_bids += 1;
+            }
+        }
+        // Bids in participant (worst-ρ-first) order, as the in-process
+        // scheduler submits them.
+        let bids: Vec<BidTable> = participants
+            .iter()
+            .filter_map(|app| tables.remove(app))
+            .collect();
+
+        // Step 5: run the auction, materialize grants, notify winners. A
+        // grant only takes effect if its Win notification is delivered by
+        // the deadline — otherwise the GPUs stay free for the next round.
+        let outcome = self
+            .arbiter
+            .run_auction(&offer, &statuses, &participants, &bids);
+        let mut shadow = cluster.clone();
+        let mut decisions = Vec::new();
+        for (app, grant) in outcome.all_grants() {
+            let Some(runtime) = apps.get(&app) else {
+                continue;
+            };
+            let agent = &self.nodes.get(&app).expect("winner has a node").agent;
+            decisions.extend(materialize_grant(agent, now, &mut shadow, runtime, &grant));
+        }
+        let lease_expires_at = now + self.config.lease_duration;
+        for decision in &decisions {
+            let _ = self.links[&decision.app].send(
+                now,
+                ArbiterToAgent::Win(WinNotification {
+                    round,
+                    app: decision.app,
+                    job: decision.job,
+                    gpus: decision.gpus.clone(),
+                    lease_expires_at,
+                }),
+            );
+        }
+        let mut delivered: BTreeSet<(AppId, JobId)> = BTreeSet::new();
+        let winners: BTreeSet<AppId> = decisions.iter().map(|d| d.app).collect();
+        for &app in &winners {
+            let node = self.nodes.get_mut(&app).expect("winner has a node");
+            if node.crashed_until <= round {
+                node.poll(deadline, round, &apps[&app], cluster);
+            }
+            for win in node.delivered_wins.drain(..) {
+                delivered.insert((win.app, win.job));
+            }
+        }
+        let before = decisions.len();
+        decisions.retain(|d| delivered.contains(&(d.app, d.job)));
+        self.stats.voided_wins += (before - decisions.len()) as u64;
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ThemisScheduler;
+    use themis_cluster::topology::ClusterSpec;
+    use themis_workload::app::AppSpec;
+    use themis_workload::job::JobSpec;
+    use themis_workload::models::ModelArch;
+
+    fn world(napps: u32) -> (Cluster, BTreeMap<AppId, AppRuntime>) {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
+        let apps: BTreeMap<AppId, AppRuntime> = (0..napps)
+            .map(|i| {
+                let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 400.0, Time::minutes(0.1), 4);
+                let rt =
+                    AppRuntime::with_default_hpo(AppSpec::single_job(AppId(i), Time::ZERO, job));
+                (AppId(i), rt)
+            })
+            .collect();
+        (cluster, apps)
+    }
+
+    #[test]
+    fn reliable_round_matches_in_process_decisions() {
+        let (cluster, apps) = world(3);
+        let config = ThemisConfig::default().with_seed(7);
+        let mut in_process = ThemisScheduler::new(config);
+        let mut dist = DistributedThemisScheduler::new(config, FaultConfig::reliable());
+        let now = Time::minutes(5.0);
+        let a = in_process.schedule(now, &cluster, &apps);
+        let b = dist.schedule(now, &cluster, &apps);
+        assert_eq!(a, b, "reliable transport must reproduce in-process Themis");
+        assert!(!b.is_empty());
+        let stats = dist.stats();
+        assert_eq!(stats.missed_rho_reports, 0);
+        assert_eq!(stats.missed_bids, 0);
+        assert_eq!(stats.voided_wins, 0);
+    }
+
+    #[test]
+    fn small_delay_fits_the_deadline_large_delay_misses_the_round() {
+        // One-way delay of 10 s: query + reply round-trips in 20 s ≤ 30 s
+        // deadline, so the auction proceeds.
+        let (cluster, apps) = world(2);
+        let config = ThemisConfig::default();
+        let mut dist = DistributedThemisScheduler::new(
+            config,
+            FaultConfig::reliable().with_delay(Time::seconds(10.0)),
+        );
+        let decisions = dist.schedule(Time::minutes(1.0), &cluster, &apps);
+        assert!(
+            !decisions.is_empty(),
+            "20 s round-trip fits a 30 s deadline"
+        );
+
+        // One-way delay of 20 s: replies land at +40 s, after the deadline.
+        // Every Agent misses the round; nothing is granted, nothing wedges.
+        let mut slow = DistributedThemisScheduler::new(
+            config,
+            FaultConfig::reliable().with_delay(Time::seconds(20.0)),
+        );
+        let decisions = slow.schedule(Time::minutes(1.0), &cluster, &apps);
+        assert!(decisions.is_empty());
+        assert_eq!(slow.stats().missed_rho_reports, 2);
+        // The next round is attempted afresh (and missed again — the
+        // stale replies from round 0 are discarded, not misread).
+        let decisions = slow.schedule(Time::minutes(2.0), &cluster, &apps);
+        assert!(decisions.is_empty());
+        assert_eq!(slow.rounds(), 2);
+        assert!(slow.stats().stale_messages > 0, "round-0 replies discarded");
+    }
+
+    #[test]
+    fn fully_lossy_link_never_wedges_a_round() {
+        let (cluster, apps) = world(2);
+        let mut dist = DistributedThemisScheduler::new(
+            ThemisConfig::default(),
+            FaultConfig::reliable().with_drop_probability(1.0),
+        );
+        for r in 0..5 {
+            let decisions = dist.schedule(Time::minutes(r as f64), &cluster, &apps);
+            assert!(decisions.is_empty());
+        }
+        assert_eq!(dist.rounds(), 5);
+        assert_eq!(dist.stats().missed_rho_reports, 10);
+    }
+
+    #[test]
+    fn crash_schedule_takes_one_agent_offline_round_robin() {
+        let (cluster, apps) = world(2);
+        // Every round, one agent crashes for exactly that round.
+        let mut dist = DistributedThemisScheduler::new(
+            ThemisConfig::default(),
+            FaultConfig::reliable().with_crash(1, 1),
+        );
+        // Round 0 crashes app 0 (victim index 0), round 1 crashes app 1.
+        let d0 = dist.schedule(Time::minutes(1.0), &cluster, &apps);
+        assert!(d0.iter().all(|d| d.app == AppId(1)), "app 0 is offline");
+        assert!(!d0.is_empty(), "the surviving agent still wins GPUs");
+        let d1 = dist.schedule(Time::minutes(2.0), &cluster, &apps);
+        assert!(d1.iter().all(|d| d.app == AppId(0)), "app 1 is offline");
+        assert_eq!(dist.stats().crashed_agent_rounds, 2);
+    }
+
+    #[test]
+    fn lease_notices_flow_to_agents() {
+        let (mut cluster, apps) = world(1);
+        let mut dist =
+            DistributedThemisScheduler::new(ThemisConfig::default(), FaultConfig::reliable());
+        let d = dist.schedule(Time::minutes(1.0), &cluster, &apps);
+        // Apply the decisions with a short lease, then expire it.
+        for decision in &d {
+            for gpu in &decision.gpus {
+                cluster
+                    .allocate(
+                        *gpu,
+                        decision.app,
+                        decision.job,
+                        Time::minutes(1.0),
+                        Time::minutes(2.0),
+                    )
+                    .unwrap();
+            }
+        }
+        dist.schedule(Time::minutes(1.5), &cluster, &apps);
+        cluster.reclaim_expired_leases(Time::minutes(10.0));
+        dist.schedule(Time::minutes(10.0), &cluster, &apps);
+        let node = dist.nodes.get(&AppId(0)).unwrap();
+        assert!(
+            node.lease_notices > 0,
+            "agent must be told its GPUs were reclaimed"
+        );
+    }
+}

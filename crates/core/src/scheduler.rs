@@ -63,37 +63,38 @@ impl ThemisScheduler {
             .entry(app)
             .or_insert_with(|| Agent::new(app, &config))
     }
+}
 
-    /// Converts a per-app grant (per-machine counts) into concrete
-    /// allocation decisions, drawing GPUs from `shadow` (which tracks
-    /// GPUs already promised this round).
-    fn materialize_grant(
-        &mut self,
-        now: Time,
-        shadow: &mut Cluster,
-        runtime: &AppRuntime,
-        grant: &FreeVector,
-    ) -> Vec<AllocationDecision> {
-        let app = runtime.id();
-        let shares: BTreeMap<JobId, JobShare> =
-            self.agent_for(app).distribute_award(runtime, shadow, grant);
-        let mut decisions = Vec::new();
-        for (job, share) in shares {
-            let mut gpus: Vec<GpuId> = Vec::new();
-            for (machine, count) in share {
-                let free = shadow.free_gpus_on(machine);
-                for gpu in free.into_iter().take(count) {
-                    if shadow.allocate(gpu, app, job, now, Time::INFINITY).is_ok() {
-                        gpus.push(gpu);
-                    }
+/// Converts a per-app grant (per-machine counts) into concrete allocation
+/// decisions, drawing GPUs from `shadow` (which tracks GPUs already
+/// promised this round). Shared by the in-process and distributed-mode
+/// schedulers so their materialization can never diverge — the reliable
+/// `themis-dist` ≡ `themis` equivalence depends on it.
+pub(crate) fn materialize_grant(
+    agent: &Agent,
+    now: Time,
+    shadow: &mut Cluster,
+    runtime: &AppRuntime,
+    grant: &FreeVector,
+) -> Vec<AllocationDecision> {
+    let app = runtime.id();
+    let shares: BTreeMap<JobId, JobShare> = agent.distribute_award(runtime, shadow, grant);
+    let mut decisions = Vec::new();
+    for (job, share) in shares {
+        let mut gpus: Vec<GpuId> = Vec::new();
+        for (machine, count) in share {
+            let free = shadow.free_gpus_on(machine);
+            for gpu in free.into_iter().take(count) {
+                if shadow.allocate(gpu, app, job, now, Time::INFINITY).is_ok() {
+                    gpus.push(gpu);
                 }
             }
-            if !gpus.is_empty() {
-                decisions.push(AllocationDecision { app, job, gpus });
-            }
         }
-        decisions
+        if !gpus.is_empty() {
+            decisions.push(AllocationDecision { app, job, gpus });
+        }
     }
+    decisions
 }
 
 impl Scheduler for ThemisScheduler {
@@ -153,7 +154,8 @@ impl Scheduler for ThemisScheduler {
             let Some(runtime) = apps.get(&app) else {
                 continue;
             };
-            decisions.extend(self.materialize_grant(now, &mut shadow, runtime, &grant));
+            let agent = self.agent_for(app);
+            decisions.extend(materialize_grant(agent, now, &mut shadow, runtime, &grant));
         }
         decisions
     }

@@ -34,6 +34,10 @@ pub struct OfferMsg {
 /// An Agent's report of its app's current finish-time fairness.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RhoReport {
+    /// The auction round whose [`ArbiterToAgent::QueryRho`] this answers.
+    /// Lets the Arbiter discard reports that arrive after their round's bid
+    /// deadline (a delayed reply must not masquerade as a current one).
+    pub round: u64,
     /// The reporting app.
     pub app: AppId,
     /// Current estimate of ρ = T_sh / T_id.
@@ -124,7 +128,7 @@ impl AgentToArbiter {
     /// The auction round this message belongs to.
     pub fn round(&self) -> Option<u64> {
         match self {
-            AgentToArbiter::Rho(_) => None,
+            AgentToArbiter::Rho(r) => Some(r.round),
             AgentToArbiter::Bid { round, .. } => Some(*round),
             AgentToArbiter::Pass { round, .. } => Some(*round),
         }
@@ -159,11 +163,12 @@ mod tests {
     #[test]
     fn agent_messages_know_their_app() {
         let rho = AgentToArbiter::Rho(RhoReport {
+            round: 6,
             app: AppId(4),
             rho: 2.5,
         });
         assert_eq!(rho.app(), AppId(4));
-        assert_eq!(rho.round(), None);
+        assert_eq!(rho.round(), Some(6));
 
         let bid = AgentToArbiter::Bid {
             round: 1,

@@ -60,7 +60,14 @@ pub trait Transport<S, R> {
     }
 }
 
-/// Fault-injection configuration for an [`InMemoryLink`].
+/// Fault-injection configuration for an [`InMemoryLink`], and — through the
+/// scenario plumbing — for a whole distributed-mode scheduling run.
+///
+/// The link itself interprets `drop_probability`, `delay` and `seed`. The
+/// crash fields describe a *process* fault rather than a link fault: they
+/// are ignored by [`InMemoryLink`] and interpreted by the distributed
+/// runtime (`themis_core::runtime`), which takes an Agent offline for
+/// `crash_rounds` consecutive auction rounds every `crash_period` rounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Probability in `[0, 1]` that a sent message is silently dropped.
@@ -69,20 +76,29 @@ pub struct FaultConfig {
     pub delay: Time,
     /// RNG seed for the drop decisions (determinism for tests).
     pub seed: u64,
+    /// Every `crash_period`-th auction round, one Agent (cycling through
+    /// apps in id order) crashes. `0` disables crash injection.
+    pub crash_period: u64,
+    /// How many consecutive rounds a crashed Agent stays silent.
+    pub crash_rounds: u64,
 }
 
+/// The default is [`FaultConfig::reliable`]: no drops, zero latency, no
+/// crashes — a link that delivers every message instantly, in FIFO order.
 impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig {
             drop_probability: 0.0,
             delay: Time::ZERO,
             seed: 0,
+            crash_period: 0,
+            crash_rounds: 0,
         }
     }
 }
 
 impl FaultConfig {
-    /// A perfectly reliable, zero-latency link.
+    /// A perfectly reliable, zero-latency link (same as `Default`).
     pub fn reliable() -> Self {
         Self::default()
     }
@@ -92,18 +108,64 @@ impl FaultConfig {
         assert!((0.0..=1.0).contains(&drop_probability));
         FaultConfig {
             drop_probability,
-            delay: Time::ZERO,
             seed,
+            ..Self::default()
         }
     }
 
     /// A link with a fixed delivery delay.
     pub fn delayed(delay: Time) -> Self {
         FaultConfig {
-            drop_probability: 0.0,
             delay,
-            seed: 0,
+            ..Self::default()
         }
+    }
+
+    /// `true` when this configuration injects no fault of any kind. A
+    /// crash schedule needs both a period and a duration; either being
+    /// zero disables it.
+    pub fn is_reliable(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.delay == Time::ZERO
+            && (self.crash_period == 0 || self.crash_rounds == 0)
+    }
+
+    /// Sets the message-drop probability.
+    ///
+    /// # Panics
+    /// Panics if the probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_drop_probability(mut self, drop_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be in [0, 1]"
+        );
+        self.drop_probability = drop_probability;
+        self
+    }
+
+    /// Sets the fixed delivery delay.
+    #[must_use]
+    pub fn with_delay(mut self, delay: Time) -> Self {
+        assert!(delay >= Time::ZERO, "delay must be non-negative");
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the RNG seed for the drop decisions.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables crash injection: every `period`-th round one Agent goes
+    /// silent for `rounds` rounds (see the type-level docs).
+    #[must_use]
+    pub fn with_crash(mut self, period: u64, rounds: u64) -> Self {
+        self.crash_period = period;
+        self.crash_rounds = rounds;
+        self
     }
 }
 
@@ -304,6 +366,77 @@ mod tests {
         // …then the peer observes the disconnect.
         assert_eq!(b.try_recv(Time::ZERO), Err(TransportError::Disconnected));
         assert_eq!(a.send(Time::ZERO, 2), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn zero_drop_probability_is_lossless_fifo() {
+        let (a, b) = InMemoryLink::pair::<u32, u32>(
+            FaultConfig::reliable().with_seed(99),
+            FaultConfig::reliable(),
+        );
+        for i in 0..100 {
+            a.send(Time::minutes(i as f64), i).unwrap();
+        }
+        let received = b.drain(Time::minutes(1000.0));
+        assert_eq!(received, (0..100).collect::<Vec<u32>>(), "lossless FIFO");
+        assert_eq!(a.send_stats().dropped, 0);
+        assert_eq!(b.recv_stats().received, 100);
+    }
+
+    #[test]
+    fn drop_probability_one_delivers_nothing() {
+        let (a, b) =
+            InMemoryLink::pair::<u32, u32>(FaultConfig::lossy(1.0, 3), FaultConfig::reliable());
+        for i in 0..50 {
+            a.send(Time::ZERO, i).unwrap();
+        }
+        assert!(b.drain(Time::INFINITY).is_empty());
+        let stats = a.send_stats();
+        assert_eq!(stats.dropped, 50);
+        assert_eq!(stats.sent, 0);
+    }
+
+    #[test]
+    fn delayed_message_is_invisible_before_now_plus_delay() {
+        let delay = Time::minutes(3.0);
+        let (a, b) =
+            InMemoryLink::pair::<u32, u32>(FaultConfig::delayed(delay), FaultConfig::reliable());
+        let sent_at = Time::minutes(7.0);
+        a.send(sent_at, 42).unwrap();
+        // Invisible strictly before `sent_at + delay`…
+        assert_eq!(
+            b.try_recv(sent_at + delay - Time::seconds(1.0)),
+            Err(TransportError::Empty)
+        );
+        // …and visible exactly at the deadline.
+        assert_eq!(b.try_recv(sent_at + delay).unwrap(), 42);
+    }
+
+    #[test]
+    fn builder_constructors_compose() {
+        let fault = FaultConfig::reliable()
+            .with_drop_probability(0.25)
+            .with_delay(Time::seconds(10.0))
+            .with_seed(7)
+            .with_crash(4, 2);
+        assert_eq!(fault.drop_probability, 0.25);
+        assert_eq!(fault.delay, Time::seconds(10.0));
+        assert_eq!(fault.seed, 7);
+        assert_eq!((fault.crash_period, fault.crash_rounds), (4, 2));
+        assert!(!fault.is_reliable());
+        assert!(FaultConfig::default().is_reliable());
+        // Seed alone does not make a link faulty.
+        assert!(FaultConfig::reliable().with_seed(5).is_reliable());
+        // A degenerate crash schedule (zero period or zero duration)
+        // injects nothing and is therefore still reliable.
+        assert!(FaultConfig::reliable().with_crash(5, 0).is_reliable());
+        assert!(FaultConfig::reliable().with_crash(0, 3).is_reliable());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn out_of_range_drop_probability_rejected() {
+        let _ = FaultConfig::reliable().with_drop_probability(1.5);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, JobId};
 use themis_cluster::time::Time;
+use themis_protocol::transport::FaultConfig;
 use themis_workload::app::AppSpec;
 
 /// Engine configuration.
@@ -35,6 +36,19 @@ pub struct SimConfig {
     /// Hard cap on simulated time; apps unfinished at the cap are reported
     /// as unfinished.
     pub max_sim_time: Time,
+    /// Transport fault injection for message-driven (distributed-mode)
+    /// schedulers. The engine itself never consults this — it is the
+    /// plumbing point between a scenario and the scheduler built for it
+    /// (see `Policy::build_with` in `themis-bench`). Defaults to
+    /// [`FaultConfig::reliable`].
+    pub fault: FaultConfig,
+    /// When set, a scheduling round that grants nothing while free GPUs
+    /// and unmet demand both exist enqueues a retry event this far in the
+    /// future (doubling on consecutive idle retries). Without it, a round
+    /// fully lost to message faults could leave the event queue empty and
+    /// strand unfinished apps. `None` (the default) preserves the classic
+    /// purely event-driven behavior.
+    pub retry_interval: Option<Time>,
 }
 
 impl Default for SimConfig {
@@ -43,6 +57,8 @@ impl Default for SimConfig {
             lease_duration: Time::minutes(20.0),
             checkpoint_overhead: Time::minutes(1.0),
             max_sim_time: Time::minutes(1_000_000.0),
+            fault: FaultConfig::reliable(),
+            retry_interval: None,
         }
     }
 }
@@ -65,6 +81,19 @@ impl SimConfig {
         self.max_sim_time = cap;
         self
     }
+
+    /// Sets the transport fault injection for distributed-mode schedulers.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Enables the no-progress retry event with the given base interval.
+    pub fn with_retry_interval(mut self, interval: Time) -> Self {
+        assert!(interval > Time::ZERO, "retry interval must be positive");
+        self.retry_interval = Some(interval);
+        self
+    }
 }
 
 /// The discrete-event simulation engine, generic over the scheduling policy.
@@ -80,6 +109,11 @@ pub struct Engine<S: Scheduler> {
     /// The last projected-finish time pushed per job, to avoid flooding the
     /// event queue with duplicate projections every round.
     scheduled_finish: BTreeMap<(AppId, JobId), Time>,
+    /// A retry event is already queued (at most one outstanding).
+    retry_pending: bool,
+    /// Consecutive rounds that granted nothing while demand existed; drives
+    /// the exponential retry backoff.
+    idle_retries: u32,
 }
 
 impl<S: Scheduler> Engine<S> {
@@ -113,6 +147,8 @@ impl<S: Scheduler> Engine<S> {
             peak_contention: 0.0,
             scheduling_rounds: 0,
             scheduled_finish: BTreeMap::new(),
+            retry_pending: false,
+            idle_retries: 0,
         }
     }
 
@@ -148,6 +184,9 @@ impl<S: Scheduler> Engine<S> {
             // the job is still running after this round.
             if let EventKind::JobFinish(app, job) = event.kind {
                 self.scheduled_finish.remove(&(app, job));
+            }
+            if event.kind == EventKind::Retry {
+                self.retry_pending = false;
             }
             self.advance_to(event.time);
             self.process_round();
@@ -313,6 +352,23 @@ impl<S: Scheduler> Engine<S> {
         }
         if new_leases {
             self.events.push(lease_expiry, EventKind::LeaseExpiry);
+            self.idle_retries = 0;
+        } else if let Some(base) = self.config.retry_interval {
+            // A round that granted nothing while free GPUs and unmet demand
+            // both exist is (for a message-driven scheduler) a round lost to
+            // transport faults: re-attempt it after a backoff instead of
+            // letting the event queue drain with apps stranded.
+            let starved = !self.cluster.free_gpus().is_empty()
+                && self
+                    .apps
+                    .values()
+                    .any(|a| a.is_schedulable(now) && a.unmet_demand(&self.cluster) > 0);
+            if starved && !self.retry_pending {
+                let backoff = base * f64::from(1u32 << self.idle_retries.min(16));
+                self.events.push(now + backoff, EventKind::Retry);
+                self.retry_pending = true;
+                self.idle_retries = self.idle_retries.saturating_add(1);
+            }
         }
         // Projected completion events for every job that currently holds
         // GPUs. Projections are deduplicated: a new event is only pushed
@@ -529,6 +585,59 @@ mod tests {
         // The app must finish no later than its longest job would take alone.
         let ct = report.apps[0].completion_time.unwrap().as_minutes();
         assert!(ct < 700.0 * 0.1 / 2.0 * 4.0, "completion time {ct}");
+    }
+
+    /// A scheduler that never grants anything — stands in for a
+    /// message-driven round in which every message was dropped.
+    struct NullScheduler;
+
+    impl Scheduler for NullScheduler {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+
+        fn schedule(
+            &mut self,
+            _now: Time,
+            _cluster: &Cluster,
+            _apps: &BTreeMap<AppId, AppRuntime>,
+        ) -> Vec<AllocationDecision> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn retry_interval_keeps_rescheduling_after_lost_rounds() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        let trace = vec![single_job_app(0, 0.0, 100.0, 2)];
+        // Without retries: the arrival event is the only event, the null
+        // scheduler grants nothing, and the queue drains after one round.
+        let no_retry = Engine::new(
+            cluster.clone(),
+            trace.clone(),
+            NullScheduler,
+            SimConfig::default().with_max_sim_time(Time::minutes(10_000.0)),
+        )
+        .run();
+        assert_eq!(no_retry.scheduling_rounds, 1);
+        // With retries: rounds keep firing on the backoff schedule until
+        // the time cap, and the run still terminates.
+        let with_retry = Engine::new(
+            cluster,
+            trace,
+            NullScheduler,
+            SimConfig::default()
+                .with_max_sim_time(Time::minutes(10_000.0))
+                .with_retry_interval(Time::minutes(1.0)),
+        )
+        .run();
+        assert!(
+            with_retry.scheduling_rounds > 5,
+            "expected several retry rounds, got {}",
+            with_retry.scheduling_rounds
+        );
+        assert_eq!(with_retry.unfinished_apps(), 1);
+        assert!(with_retry.end_time <= Time::minutes(10_000.0) + Time::minutes(1e-6));
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum EventKind {
     /// A periodic scheduling tick (used when the cluster is idle but apps
     /// are waiting).
     Tick,
+    /// A retry of a scheduling round that granted nothing while demand and
+    /// free GPUs both existed. Only scheduled when
+    /// [`SimConfig::retry_interval`](crate::engine::SimConfig) is set —
+    /// distributed-mode schedulers need it so a round lost to message
+    /// faults is re-attempted instead of wedging the event queue.
+    Retry,
 }
 
 /// A timestamped event.

@@ -102,6 +102,50 @@ proptest! {
         let b = partial_allocation(&bids, &offer);
         prop_assert_eq!(a, b);
     }
+
+    /// §5.1 truthfulness: the hidden payments make truthful reporting the
+    /// dominant strategy, so an app that misreports the ρ values in its
+    /// bid table (claiming allocations help it more or less than they
+    /// truly do, by a factor λ) must never end up with a better
+    /// allocation than it gets by bidding truthfully. The tables follow
+    /// the paper's homogeneous `ρ/k` shape, so the app's true value is
+    /// monotone in the number of GPUs awarded; the +1 slack absorbs the
+    /// whole-GPU rounding of the payment factor (the paper's mechanism is
+    /// exactly truthful only for divisible resources).
+    #[test]
+    fn misreporting_never_improves_own_allocation(
+        (offer, bids) in bids_strategy(),
+        liar_index in 0usize..5,
+        lie_factor in 0.2f64..5.0,
+    ) {
+        let liar = bids[liar_index % bids.len()].app;
+        let truthful_total = partial_allocation(&bids, &offer)
+            .award_for(liar)
+            .map(|a| a.awarded.total())
+            .unwrap_or(0);
+
+        // The lie: scale every table entry's reported ρ by λ while keeping
+        // the truthful baseline (current_rho), i.e. over- or under-state
+        // how much each candidate subset would help.
+        let mut lying_bids = bids.clone();
+        let table = lying_bids
+            .iter_mut()
+            .find(|t| t.app == liar)
+            .expect("liar has a bid");
+        for entry in &mut table.entries {
+            entry.rho *= lie_factor;
+        }
+        let lying_total = partial_allocation(&lying_bids, &offer)
+            .award_for(liar)
+            .map(|a| a.awarded.total())
+            .unwrap_or(0);
+
+        prop_assert!(
+            lying_total <= truthful_total + 1,
+            "app {:?} gained by lying (factor {}): {} GPUs vs {} truthful",
+            liar, lie_factor, lying_total, truthful_total
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

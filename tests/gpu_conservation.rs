@@ -7,8 +7,11 @@
 //! the grand total (already allocated + granted this round) can never
 //! exceed cluster capacity. Scenarios come from the scenario-matrix
 //! generator with randomized axis values, so the invariant is exercised
-//! across contention levels, fairness knobs, leases, bursty arrivals and
-//! heavy 8-GPU jobs — for Themis and all four baselines.
+//! across contention levels, fairness knobs, leases, bursty arrivals,
+//! heavy 8-GPU jobs and (for the distributed mode) transport faults —
+//! for both Themis modes and all four baselines. A dropped `Win`
+//! notification or an Agent that misses a round mid-lease must never
+//! leak or double-lease a GPU.
 
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -17,8 +20,9 @@ use themis_bench::scenarios::{ClusterKind, Matrix, Scenario};
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, GpuId};
 use themis_cluster::time::Time;
+use themis_protocol::transport::FaultConfig;
 use themis_sim::app_runtime::AppRuntime;
-use themis_sim::engine::{Engine, SimConfig};
+use themis_sim::engine::Engine;
 use themis_sim::scheduler::{AllocationDecision, Scheduler};
 
 /// Scheduler wrapper that panics the moment the inner policy's decisions
@@ -75,7 +79,8 @@ impl Scheduler for ConservationGuard {
 }
 
 /// The randomized scenario pool: the matrix generator expanded over wide
-/// axis values, including the new bursty/heavy workload knobs.
+/// axis values, including the bursty/heavy workload knobs and a faulty
+/// transport point (which only the distributed policy runs).
 fn property_cells() -> Vec<(Scenario, Policy)> {
     let matrix = Matrix {
         apps: vec![2, 4],
@@ -84,6 +89,13 @@ fn property_cells() -> Vec<(Scenario, Policy)> {
         lease_minutes: vec![5.0, 20.0],
         burst_fraction: vec![0.0, 0.7],
         heavy_job_fraction: vec![0.0, 0.4],
+        faults: vec![
+            FaultConfig::reliable(),
+            FaultConfig::reliable()
+                .with_drop_probability(0.3)
+                .with_delay(Time::seconds(8.0))
+                .with_crash(3, 2),
+        ],
         seeds: vec![11, 29],
         ..Matrix::point("property", ClusterKind::Rack16, 4, 11)
     };
@@ -100,19 +112,65 @@ proptest! {
     fn policies_conserve_gpus_across_random_scenarios(index in 0usize..5000) {
         let cells = property_cells();
         let (scenario, policy) = cells[index % cells.len()].clone();
+        let config = scenario
+            .sim_config()
+            .with_max_sim_time(Time::minutes(30_000.0));
         let guard = ConservationGuard {
-            inner: scenario.instantiate(policy).build(),
+            inner: scenario.instantiate(policy).build_with(&config),
         };
         let cluster = Cluster::new(scenario.cluster.spec());
-        let config = SimConfig::default()
-            .with_lease(Time::minutes(scenario.lease_minutes))
-            .with_max_sim_time(Time::minutes(30_000.0));
         let report = Engine::new(cluster, scenario.trace(), guard, config).run();
         prop_assert!(
             report.scheduling_rounds > 0,
             "guarded run of {} on {} never scheduled",
             policy.name(),
             scenario.id(),
+        );
+    }
+}
+
+/// Pinned-seed audit of the distributed scheduler under every fault class
+/// at once: drops, delays and an agent crashing mid-lease. The guard
+/// asserts round-by-round that no GPU is granted twice, granted while
+/// leased, or conjured from nowhere — i.e. a `Win` lost in transit voids
+/// the grant instead of leaking it, and a crashed Agent's leases are
+/// reclaimed normally.
+#[test]
+fn distributed_scheduler_conserves_gpus_under_faults() {
+    for (drop, delay_s, crash) in [(0.4, 0.0, (0, 0)), (0.0, 10.0, (2, 1)), (0.3, 5.0, (3, 2))] {
+        let scenario = Scenario::new(ClusterKind::Rack16, 5, 23)
+            .with_contention(2.0)
+            .with_fault(
+                FaultConfig::reliable()
+                    .with_drop_probability(drop)
+                    .with_delay(Time::seconds(delay_s))
+                    .with_crash(crash.0, crash.1),
+            );
+        let config = scenario
+            .sim_config()
+            .with_max_sim_time(Time::minutes(30_000.0));
+        let guard = ConservationGuard {
+            inner: scenario
+                .instantiate(Policy::themis_dist_default())
+                .build_with(&config),
+        };
+        let report = Engine::new(
+            Cluster::new(scenario.cluster.spec()),
+            scenario.trace(),
+            guard,
+            config,
+        )
+        .run();
+        assert!(
+            report.scheduling_rounds > 0,
+            "faulty run {} never scheduled",
+            scenario.id()
+        );
+        assert_eq!(
+            report.finished_apps() + report.unfinished_apps(),
+            5,
+            "every app accounted for in {}",
+            scenario.id()
         );
     }
 }

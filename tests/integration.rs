@@ -112,7 +112,14 @@ fn arbiter_and_agent_talk_over_the_in_memory_transport() {
     assert!(matches!(msg, ArbiterToAgent::QueryRho { round: 0 }));
     let rho = agent.current_rho(now, &runtime, &cluster).rho;
     agent_ep
-        .send(now, AgentToArbiter::Rho(RhoReport { app: AppId(0), rho }))
+        .send(
+            now,
+            AgentToArbiter::Rho(RhoReport {
+                round: 0,
+                app: AppId(0),
+                rho,
+            }),
+        )
         .unwrap();
     let report = arbiter_ep.try_recv(now).unwrap();
     assert_eq!(report.app(), AppId(0));
