@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, GpuId};
 use themis_cluster::time::Time;
-use themis_sim::app_runtime::AppRuntime;
+use themis_cluster::view::ClusterState;
+use themis_sim::arena::AppArena;
 use themis_sim::scheduler::{split_among_jobs, AllocationDecision, Scheduler};
 
 /// The instantaneous dominant-resource-fairness scheduler.
@@ -35,30 +36,31 @@ impl Scheduler for Drf {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         let total_gpus = cluster.total_gpus().max(1) as f64;
-        let mut free: Vec<GpuId> = cluster.free_gpus();
-        if free.is_empty() {
+        let mut remaining = cluster.free_gpu_count();
+        if remaining == 0 {
             return Vec::new();
         }
-        let mut shadow = cluster.clone();
+        let mut shadow = cluster.view();
         // Dominant share per schedulable app (fraction of cluster GPUs held,
         // including what we tentatively grant this round).
         let mut shares: BTreeMap<AppId, f64> = apps
-            .values()
+            .iter()
             .filter(|a| a.is_schedulable(now))
-            .map(|a| (a.id(), shadow.gpus_of_app(a.id()).len() as f64 / total_gpus))
+            .map(|a| (a.id(), shadow.gpus_held_by(a.id()) as f64 / total_gpus))
             .collect();
         let mut granted: BTreeMap<AppId, usize> = BTreeMap::new();
 
-        // Serve one GPU at a time to the app with the smallest dominant
+        // Serve one GPU at a time (a plain countdown — concrete ids are
+        // picked at materialization) to the app with the smallest dominant
         // share that still has unmet demand.
-        while !free.is_empty() {
+        while remaining > 0 {
             let candidate = shares
                 .iter()
                 .filter(|(id, _)| {
-                    apps[id].unmet_demand(&shadow) > granted.get(id).copied().unwrap_or(0)
+                    apps[**id].unmet_demand(&shadow) > granted.get(*id).copied().unwrap_or(0)
                 })
                 .min_by(|a, b| {
                     a.1.partial_cmp(b.1)
@@ -67,7 +69,7 @@ impl Scheduler for Drf {
                 })
                 .map(|(id, _)| *id);
             let Some(app_id) = candidate else { break };
-            free.remove(0);
+            remaining -= 1;
             *granted.entry(app_id).or_insert(0) += 1;
             *shares.get_mut(&app_id).expect("share present") += 1.0 / total_gpus;
         }
@@ -77,12 +79,12 @@ impl Scheduler for Drf {
         let mut free: Vec<GpuId> = cluster.free_gpus();
         let mut decisions = Vec::new();
         for (app_id, count) in granted {
-            let app = &apps[&app_id];
+            let app = &apps[app_id];
             for (job, n) in split_among_jobs(app, &shadow, count) {
                 let gpus: Vec<GpuId> = free.drain(..n.min(free.len())).collect();
                 for gpu in &gpus {
                     // Keep the shadow consistent for split_among_jobs calls.
-                    let _ = shadow.allocate(*gpu, app_id, job, now, Time::INFINITY);
+                    let _ = shadow.allocate(*gpu, app_id, job);
                 }
                 if !gpus.is_empty() {
                     decisions.push(AllocationDecision {
@@ -102,6 +104,7 @@ mod tests {
     use super::*;
     use themis_cluster::ids::JobId;
     use themis_cluster::topology::ClusterSpec;
+    use themis_sim::app_runtime::AppRuntime;
     use themis_workload::app::AppSpec;
     use themis_workload::job::JobSpec;
     use themis_workload::models::ModelArch;
@@ -120,8 +123,7 @@ mod tests {
     #[test]
     fn equal_demand_gets_equal_share() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
-        let apps: BTreeMap<AppId, AppRuntime> =
-            [(AppId(0), app(0, 4)), (AppId(1), app(1, 4))].into();
+        let apps = AppArena::from_runtimes([app(0, 4), app(1, 4)]);
         let decisions = Drf::new().schedule(Time::ZERO, &cluster, &apps);
         let per_app: BTreeMap<AppId, usize> = decisions.iter().fold(BTreeMap::new(), |mut m, d| {
             *m.entry(d.app).or_insert(0) += d.gpus.len();
@@ -142,7 +144,7 @@ mod tests {
         }
         let mut a0 = app(0, 8);
         a0.max_par_override.insert(JobId(0), 8);
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), a0), (AppId(1), app(1, 4))].into();
+        let apps = AppArena::from_runtimes([a0, app(1, 4)]);
         let decisions = Drf::new().schedule(Time::ZERO, &cluster, &apps);
         let to_app1: usize = decisions
             .iter()
@@ -158,7 +160,7 @@ mod tests {
     #[test]
     fn respects_demand_limits() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), app(0, 2))].into();
+        let apps = AppArena::from_runtimes([app(0, 2)]);
         let decisions = Drf::new().schedule(Time::ZERO, &cluster, &apps);
         let total: usize = decisions.iter().map(|d| d.gpus.len()).sum();
         assert_eq!(total, 2);

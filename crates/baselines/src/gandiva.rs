@@ -7,12 +7,14 @@
 //! placement score at the end of every lease (§8, "Gandiva"). There is no
 //! fairness objective: a well-placed app can keep winning indefinitely.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use themis_cluster::alloc::GpuAlloc;
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::AppId;
 use themis_cluster::time::Time;
+use themis_cluster::view::ClusterState;
 use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::scheduler::{pick_gpus_packed, split_among_jobs, AllocationDecision, Scheduler};
 
 /// The placement-greedy Gandiva emulation.
@@ -28,7 +30,7 @@ impl Gandiva {
     /// The placement score an app would report for receiving `count` GPUs,
     /// given the current (shadow) cluster state: the score of the best
     /// packed pick of that size, preferring machines the app already uses.
-    fn prospective_score(cluster: &Cluster, app: &AppRuntime, count: usize) -> f64 {
+    fn prospective_score<C: ClusterState>(cluster: &C, app: &AppRuntime, count: usize) -> f64 {
         if count == 0 {
             return 0.0;
         }
@@ -51,9 +53,9 @@ impl Scheduler for Gandiva {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
-        let mut shadow = cluster.clone();
+        let mut shadow = cluster.view();
         let mut decisions = Vec::new();
 
         // Greedy loop: repeatedly grant the (app → packed GPUs) assignment
@@ -61,11 +63,11 @@ impl Scheduler for Gandiva {
         // exhausted. Chunk size is one job's worth of GPUs at a time so that
         // gang-scheduled jobs stay tightly packed.
         loop {
-            if shadow.free_gpus().is_empty() {
+            if shadow.free_gpu_count() == 0 {
                 break;
             }
             let mut best: Option<(AppId, usize, f64)> = None;
-            for app in apps.values().filter(|a| a.is_schedulable(now)) {
+            for app in apps.iter().filter(|a| a.is_schedulable(now)) {
                 let unmet = app.unmet_demand(&shadow);
                 if unmet == 0 {
                     continue;
@@ -77,7 +79,7 @@ impl Scheduler for Gandiva {
                     .map(|(_, c)| c)
                     .max()
                     .unwrap_or(0)
-                    .min(shadow.free_gpus().len());
+                    .min(shadow.free_gpu_count());
                 if chunk == 0 {
                     continue;
                 }
@@ -92,7 +94,7 @@ impl Scheduler for Gandiva {
             let Some((app_id, chunk, _)) = best else {
                 break;
             };
-            let app = &apps[&app_id];
+            let app = &apps[app_id];
             // Give the chunk to the job with the largest unmet demand.
             let Some((job, count)) = split_among_jobs(app, &shadow, chunk)
                 .into_iter()
@@ -107,7 +109,7 @@ impl Scheduler for Gandiva {
             }
             for gpu in &gpus {
                 shadow
-                    .allocate(*gpu, app_id, job, now, Time::INFINITY)
+                    .allocate(*gpu, app_id, job)
                     .expect("gpu is free in shadow cluster");
             }
             decisions.push(AllocationDecision {
@@ -144,11 +146,8 @@ mod tests {
     #[test]
     fn packs_each_app_onto_one_machine_when_possible() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
-        let apps: BTreeMap<AppId, AppRuntime> = [
-            (AppId(0), app(0, 4, ModelArch::Vgg16)),
-            (AppId(1), app(1, 4, ModelArch::Vgg16)),
-        ]
-        .into();
+        let apps =
+            AppArena::from_runtimes([app(0, 4, ModelArch::Vgg16), app(1, 4, ModelArch::Vgg16)]);
         let decisions = Gandiva::new().schedule(Time::ZERO, &cluster, &apps);
         let total: usize = decisions.iter().map(|d| d.gpus.len()).sum();
         assert_eq!(total, 8);
@@ -165,11 +164,8 @@ mod tests {
     #[test]
     fn is_work_conserving() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(2, 2, 2));
-        let apps: BTreeMap<AppId, AppRuntime> = [
-            (AppId(0), app(0, 4, ModelArch::ResNet50)),
-            (AppId(1), app(1, 2, ModelArch::Vgg16)),
-        ]
-        .into();
+        let apps =
+            AppArena::from_runtimes([app(0, 4, ModelArch::ResNet50), app(1, 2, ModelArch::Vgg16)]);
         let decisions = Gandiva::new().schedule(Time::ZERO, &cluster, &apps);
         let total: usize = decisions.iter().map(|d| d.gpus.len()).sum();
         assert_eq!(total, 6, "all demanded GPUs are allocated");
@@ -178,7 +174,7 @@ mod tests {
     #[test]
     fn no_demand_means_no_decisions() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
-        let apps: BTreeMap<AppId, AppRuntime> = BTreeMap::new();
+        let apps = AppArena::new();
         assert!(Gandiva::new()
             .schedule(Time::ZERO, &cluster, &apps)
             .is_empty());

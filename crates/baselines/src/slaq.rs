@@ -13,7 +13,9 @@ use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, JobId};
 use themis_cluster::placement::Locality;
 use themis_cluster::time::Time;
+use themis_cluster::view::ClusterState;
 use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::scheduler::{pick_gpus_packed, AllocationDecision, Scheduler};
 
 /// The quality-driven SLAQ emulation.
@@ -74,18 +76,18 @@ impl Scheduler for Slaq {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
-        let mut shadow = cluster.clone();
+        let mut shadow = cluster.view();
         // Tentative GPU counts handed to each (app, job) this round.
         let mut granted: BTreeMap<(AppId, JobId), usize> = BTreeMap::new();
-        let free_total = shadow.free_gpus().len();
+        let free_total = shadow.free_gpu_count();
 
         // Hand out GPUs one at a time to the job with the largest marginal
         // loss reduction, mirroring SLAQ's quality-maximizing allocation.
         for _ in 0..free_total {
             let mut best: Option<(AppId, JobId, f64)> = None;
-            for app in apps.values().filter(|a| a.is_schedulable(now)) {
+            for app in apps.iter().filter(|a| a.is_schedulable(now)) {
                 for job in app.active_jobs() {
                     // The shadow cluster already tracks this round's
                     // tentative grants (placeholder allocations below).
@@ -112,9 +114,7 @@ impl Scheduler for Slaq {
             // Reserve a placeholder GPU in the shadow so held counts update.
             let next_free = shadow.free_gpus().into_iter().next();
             if let Some(gpu) = next_free {
-                shadow
-                    .allocate(gpu, app_id, job, now, Time::INFINITY)
-                    .expect("gpu is free");
+                shadow.allocate(gpu, app_id, job).expect("gpu is free");
             } else {
                 break;
             }
@@ -122,15 +122,13 @@ impl Scheduler for Slaq {
 
         // Materialize the grants into concrete GPUs (packed per job) against
         // the real cluster state.
-        let mut shadow = cluster.clone();
+        let mut shadow = cluster.view();
         let mut decisions = Vec::new();
         for ((app_id, job), count) in granted {
             let prefer = shadow.gpus_of_job(app_id, job).machines(shadow.spec());
             let gpus = pick_gpus_packed(&shadow, count, &prefer);
             for gpu in &gpus {
-                shadow
-                    .allocate(*gpu, app_id, job, now, Time::INFINITY)
-                    .expect("gpu is free");
+                shadow.allocate(*gpu, app_id, job).expect("gpu is free");
             }
             if !gpus.is_empty() {
                 decisions.push(AllocationDecision {
@@ -170,11 +168,8 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
         // App 0 is brand new (steep part of the curve); app 1 is far along
         // (flat part of the curve) — SLAQ should strongly favour app 0.
-        let apps: BTreeMap<AppId, AppRuntime> = [
-            (AppId(0), app_with_curve(0, 0.5, 0.0)),
-            (AppId(1), app_with_curve(1, 0.5, 4000.0)),
-        ]
-        .into();
+        let apps =
+            AppArena::from_runtimes([app_with_curve(0, 0.5, 0.0), app_with_curve(1, 0.5, 4000.0)]);
         let decisions = Slaq::new().schedule(Time::ZERO, &cluster, &apps);
         let to_app0: usize = decisions
             .iter()
@@ -195,7 +190,7 @@ mod tests {
     #[test]
     fn respects_max_parallelism() {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), app_with_curve(0, 0.5, 0.0))].into();
+        let apps = AppArena::from_runtimes([app_with_curve(0, 0.5, 0.0)]);
         let decisions = Slaq::new().schedule(Time::ZERO, &cluster, &apps);
         let total: usize = decisions.iter().map(|d| d.gpus.len()).sum();
         assert!(total <= 4, "cannot exceed the app's max parallelism");
@@ -206,7 +201,7 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
         let mut rt = app_with_curve(0, 0.5, 0.0);
         rt.progress.get_mut(&JobId(0)).unwrap().kill(Time::ZERO);
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), rt)].into();
+        let apps = AppArena::from_runtimes([rt]);
         assert!(Slaq::new().schedule(Time::ZERO, &cluster, &apps).is_empty());
     }
 }

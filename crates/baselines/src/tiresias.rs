@@ -8,11 +8,11 @@
 //! locality, which is exactly the behaviour the paper's Figure 7 attributes
 //! to it.
 
-use std::collections::BTreeMap;
 use themis_cluster::cluster::Cluster;
-use themis_cluster::ids::{AppId, GpuId};
+use themis_cluster::ids::GpuId;
 use themis_cluster::time::Time;
 use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::scheduler::{split_among_jobs, AllocationDecision, Scheduler};
 
 /// The Least-Attained-Service scheduler.
@@ -35,7 +35,7 @@ impl Scheduler for Tiresias {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         let mut free: Vec<GpuId> = cluster.free_gpus();
         if free.is_empty() {
@@ -43,7 +43,7 @@ impl Scheduler for Tiresias {
         }
         // Apps ordered by least attained GPU service; ties broken by
         // arrival then id for determinism.
-        let mut order: Vec<&AppRuntime> = apps.values().filter(|a| a.is_schedulable(now)).collect();
+        let mut order: Vec<&AppRuntime> = apps.iter().filter(|a| a.is_schedulable(now)).collect();
         order.sort_by(|a, b| {
             a.attained_service
                 .cmp(&b.attained_service)
@@ -51,7 +51,7 @@ impl Scheduler for Tiresias {
                 .then(a.id().cmp(&b.id()))
         });
 
-        let mut shadow = cluster.clone();
+        let mut shadow = cluster.view();
         let mut decisions = Vec::new();
         for app in order {
             if free.is_empty() {
@@ -68,7 +68,7 @@ impl Scheduler for Tiresias {
                 let gpus: Vec<GpuId> = free.drain(..count.min(free.len())).collect();
                 for gpu in &gpus {
                     shadow
-                        .allocate(*gpu, app.id(), job, now, Time::INFINITY)
+                        .allocate(*gpu, app.id(), job)
                         .expect("gpu taken from the free list");
                 }
                 if !gpus.is_empty() {
@@ -87,7 +87,7 @@ impl Scheduler for Tiresias {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use themis_cluster::ids::JobId;
+    use themis_cluster::ids::{AppId, JobId};
     use themis_cluster::topology::ClusterSpec;
     use themis_workload::app::AppSpec;
     use themis_workload::job::JobSpec;
@@ -110,7 +110,7 @@ mod tests {
         let mut a0 = app(0, 4);
         a0.attained_service = Time::minutes(100.0);
         let a1 = app(1, 4); // zero service so far
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), a0), (AppId(1), a1)].into();
+        let apps = AppArena::from_runtimes([a0, a1]);
         let decisions = Tiresias::new().schedule(Time::ZERO, &cluster, &apps);
         // All 4 GPUs go to app 1 (least attained service).
         assert_eq!(decisions.len(), 1);
@@ -123,7 +123,7 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
         let a0 = app(0, 4);
         let a1 = app(1, 4);
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), a0), (AppId(1), a1)].into();
+        let apps = AppArena::from_runtimes([a0, a1]);
         let decisions = Tiresias::new().schedule(Time::ZERO, &cluster, &apps);
         let total: usize = decisions.iter().map(|d| d.gpus.len()).sum();
         assert_eq!(total, 8, "work conserving: all 8 GPUs are handed out");
@@ -140,7 +140,7 @@ mod tests {
                 .allocate(gpu, AppId(9), JobId(0), Time::ZERO, Time::minutes(20.0))
                 .unwrap();
         }
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), app(0, 2))].into();
+        let apps = AppArena::from_runtimes([app(0, 2)]);
         assert!(Tiresias::new()
             .schedule(Time::ZERO, &cluster, &apps)
             .is_empty());
@@ -152,7 +152,7 @@ mod tests {
         let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 1000.0, Time::minutes(0.1), 4);
         let late =
             AppRuntime::with_default_hpo(AppSpec::single_job(AppId(0), Time::minutes(100.0), job));
-        let apps: BTreeMap<AppId, AppRuntime> = [(AppId(0), late)].into();
+        let apps = AppArena::from_runtimes([late]);
         assert!(Tiresias::new()
             .schedule(Time::ZERO, &cluster, &apps)
             .is_empty());

@@ -1,11 +1,16 @@
-//! End-to-end simulator throughput benchmark plus the hidden-payment
-//! ablation called out in DESIGN.md.
+//! End-to-end simulator throughput benchmark, a full-cluster
+//! scheduling-round benchmark, and the hidden-payment ablation called out
+//! in DESIGN.md.
 //!
 //! `end_to_end` measures the wall-clock cost of simulating a full workload
 //! under Themis vs the baselines (useful when scaling the figure
-//! experiments); `hidden_payment_ablation` compares auction solve time with
-//! and without the truth-telling payment, quantifying the cost of
-//! incentive compatibility.
+//! experiments); `scheduling_round` times *one* complete Themis round —
+//! ρ probes, participant selection, bidding, the PA auction, leftover
+//! assignment and grant materialization — over the paper's 256-GPU
+//! cluster, the quantity the dense-arena refactor targets;
+//! `hidden_payment_ablation` compares auction solve time with and without
+//! the truth-telling payment, quantifying the cost of incentive
+//! compatibility.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use themis_bench::policies::Policy;
@@ -15,9 +20,46 @@ use themis_cluster::ids::{AppId, MachineId};
 use themis_cluster::time::Time;
 use themis_cluster::topology::ClusterSpec;
 use themis_core::auction::partial_allocation_with;
+use themis_core::scheduler::ThemisScheduler;
 use themis_protocol::bid::BidTable;
+use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::engine::{Engine, SimConfig};
+use themis_sim::scheduler::Scheduler;
 use themis_workload::trace::{TraceConfig, TraceGenerator};
+
+/// One full 256-GPU scheduling round: every app's Agent is probed, the
+/// worst-off fraction bids on the whole free cluster, the auction solves,
+/// and the grants are materialized through a borrowed `ClusterView`.
+fn bench_scheduling_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_round");
+    for &apps in &[8usize, 32] {
+        let cluster = Cluster::new(ClusterSpec::heterogeneous_256());
+        let trace =
+            TraceGenerator::new(TraceConfig::default().with_num_apps(apps).with_seed(7)).generate();
+        let arena: AppArena = trace
+            .into_iter()
+            .map(AppRuntime::with_default_hpo)
+            .collect();
+        // Late enough that every app has arrived and demands GPUs.
+        let now = Time::minutes(1_000_000.0);
+        group.bench_with_input(
+            BenchmarkId::new("themis_256gpu", apps),
+            &arena,
+            |b, arena| {
+                let mut scheduler = ThemisScheduler::with_defaults();
+                b.iter(|| {
+                    scheduler.schedule(
+                        now,
+                        std::hint::black_box(&cluster),
+                        std::hint::black_box(arena),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_simulation");
@@ -86,5 +128,10 @@ fn bench_hidden_payment_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_hidden_payment_ablation);
+criterion_group!(
+    benches,
+    bench_scheduling_round,
+    bench_end_to_end,
+    bench_hidden_payment_ablation
+);
 criterion_main!(benches);

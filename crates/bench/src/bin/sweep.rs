@@ -6,13 +6,22 @@
 //! sweep --matrix smoke --policy themis,drf
 //! sweep --matrix smoke --jobs 4 --check BENCH_BASELINE.json
 //! sweep --matrix smoke --timings --out sweep-timed.json
+//! sweep --matrix smoke,stress,scale --bench --out BENCH_PERF.json
+//! sweep --matrix scale --bench --out perf.json --check BENCH_PERF.json
 //! ```
 //!
 //! The emitted JSON is canonical: identical for `--jobs 1` and `--jobs N`,
 //! and free of wall-clock fields unless `--timings` is given (timings are
 //! advisory; CI compares metrics only). `--check` diffs the run against a
 //! committed baseline and exits 1 on any divergence beyond `--tolerance`.
+//!
+//! `--bench` switches to perf mode: `--matrix` accepts a comma-separated
+//! list, every matrix runs with per-cell wall-clock recorded, and the
+//! output is a perf document (see `themis_bench::perf`) — the format of
+//! the committed `BENCH_PERF.json` performance trajectory. `--check` then
+//! compares *metrics* against a perf baseline; wall-clock never fails.
 
+use themis_bench::perf::{compare_perf, PerfReport};
 use themis_bench::policies::Policy;
 use themis_bench::report::{compare_reports, SweepReport};
 use themis_bench::scenarios::Matrix;
@@ -20,8 +29,8 @@ use themis_bench::sweep::run_sweep_filtered;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--matrix NAME] [--policy A,B,..] [--jobs N] [--out FILE]\n\
-         \x20            [--check BASELINE] [--tolerance T] [--timings] [--list]\n\
+        "usage: sweep [--matrix NAME[,NAME..]] [--policy A,B,..] [--jobs N] [--out FILE]\n\
+         \x20            [--check BASELINE] [--tolerance T] [--timings] [--bench] [--list]\n\
          known matrices: {}\n\
          known policies: {}",
         Matrix::NAMED.join(", "),
@@ -41,20 +50,52 @@ fn arg_value(iter: &mut impl Iterator<Item = String>, flag: &str) -> String {
     })
 }
 
+fn fail_check(diffs: &[String], baseline_path: &str) -> ! {
+    eprintln!(
+        "baseline check FAILED against {baseline_path}: {} divergence(s)",
+        diffs.len()
+    );
+    for diff in diffs {
+        eprintln!("  {diff}");
+    }
+    std::process::exit(1);
+}
+
+fn write_or_print(out: &Option<String>, rendered: &str) {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+fn read_baseline(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
-    let mut matrix_name = "smoke".to_string();
+    let mut matrix_spec = "smoke".to_string();
     let mut policy_filter: Option<Vec<Policy>> = None;
     let mut jobs: usize = 1;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut tolerance: f64 = 1e-9;
     let mut timings = false;
+    let mut bench = false;
     let mut list = false;
 
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--matrix" => matrix_name = arg_value(&mut iter, "--matrix"),
+            "--matrix" => matrix_spec = arg_value(&mut iter, "--matrix"),
             "--policy" => {
                 let spec = arg_value(&mut iter, "--policy");
                 let parsed: Vec<Policy> = spec
@@ -94,6 +135,7 @@ fn main() {
                     });
             }
             "--timings" => timings = true,
+            "--bench" => bench = true,
             "--list" => list = true,
             _ => {
                 eprintln!("error: unknown argument '{arg}'");
@@ -120,12 +162,56 @@ fn main() {
         return;
     }
 
-    let Some(matrix) = Matrix::by_name(&matrix_name) else {
-        eprintln!("error: unknown matrix '{matrix_name}'");
+    let matrix_names: Vec<&str> = matrix_spec.split(',').filter(|s| !s.is_empty()).collect();
+    if matrix_names.is_empty() || (!bench && matrix_names.len() > 1) {
+        eprintln!("error: --matrix takes one name (a comma-separated list needs --bench)");
         usage();
-    };
+    }
+    let matrices: Vec<Matrix> = matrix_names
+        .iter()
+        .map(|name| {
+            Matrix::by_name(name).unwrap_or_else(|| {
+                eprintln!("error: unknown matrix '{name}'");
+                usage();
+            })
+        })
+        .collect();
 
-    let report = run_sweep_filtered(&matrix, jobs, policy_filter.as_deref());
+    if bench {
+        // Perf mode: run every matrix with timings, emit the perf document,
+        // and (with --check) gate metrics against a perf baseline.
+        let perf = PerfReport {
+            matrices: matrices
+                .iter()
+                .map(|m| run_sweep_filtered(m, jobs, policy_filter.as_deref()))
+                .collect(),
+        };
+        for line in perf.summary_lines() {
+            eprintln!("{line}");
+        }
+        write_or_print(&out, &perf.to_pretty_string());
+        if let Some(baseline_path) = check {
+            let baseline =
+                PerfReport::parse_str(&read_baseline(&baseline_path)).unwrap_or_else(|e| {
+                    eprintln!("error: cannot parse perf baseline {baseline_path}: {e}");
+                    std::process::exit(2);
+                });
+            let diffs = compare_perf(&perf, &baseline, tolerance);
+            if diffs.is_empty() {
+                eprintln!(
+                    "perf metric check passed: {} matrices match {baseline_path} \
+                     (tolerance {tolerance}; wall-clock advisory)",
+                    perf.matrices.len()
+                );
+            } else {
+                fail_check(&diffs, &baseline_path);
+            }
+        }
+        return;
+    }
+
+    let matrix = &matrices[0];
+    let report = run_sweep_filtered(matrix, jobs, policy_filter.as_deref());
 
     // Advisory timing summary on stderr: never part of the canonical JSON.
     let slowest = report
@@ -147,23 +233,10 @@ fn main() {
     } else {
         report.to_canonical_string()
     };
-    match &out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &rendered) {
-                eprintln!("error: cannot write {path}: {e}");
-                std::process::exit(2);
-            }
-            eprintln!("wrote {path}");
-        }
-        None => print!("{rendered}"),
-    }
+    write_or_print(&out, &rendered);
 
     if let Some(baseline_path) = check {
-        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read baseline {baseline_path}: {e}");
-            std::process::exit(2);
-        });
-        let baseline = SweepReport::parse_str(&text).unwrap_or_else(|e| {
+        let baseline = SweepReport::parse_str(&read_baseline(&baseline_path)).unwrap_or_else(|e| {
             eprintln!("error: cannot parse baseline {baseline_path}: {e}");
             std::process::exit(2);
         });
@@ -174,14 +247,7 @@ fn main() {
                 report.cells.len()
             );
         } else {
-            eprintln!(
-                "baseline check FAILED against {baseline_path}: {} divergence(s)",
-                diffs.len()
-            );
-            for diff in &diffs {
-                eprintln!("  {diff}");
-            }
-            std::process::exit(1);
+            fail_check(&diffs, &baseline_path);
         }
     }
 }

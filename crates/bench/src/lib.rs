@@ -15,29 +15,34 @@
 //!
 //! * [`scenarios`] — the declarative [`scenarios::Scenario`] cell and the
 //!   cartesian [`scenarios::Matrix`] expander with the named matrices
-//!   (`smoke`, `full`, `lease`, `stress`),
+//!   (`smoke`, `full`, `lease`, `stress`, `faults`, `scale`),
 //! * [`sweep`] — the multi-threaded batch runner executing every
 //!   `(scenario × policy)` cell via `themis_sim::batch`,
 //! * [`report`] — the machine-readable [`report::SweepReport`] and the
 //!   `BENCH_BASELINE.json` regression gate CI diffs against,
+//! * [`perf`] — the timed [`perf::PerfReport`] behind `sweep --bench` and
+//!   the committed `BENCH_PERF.json` performance trajectory,
 //! * [`json`] — the deterministic JSON writer/parser backing it (the
 //!   vendored `serde` is an inert stub, see `vendor/README.md`).
 //!
 //! The `sweep` binary drives it all:
 //! `cargo run --release -p themis-bench --bin sweep -- --matrix smoke
-//! --jobs 4 --out sweep.json --check BENCH_BASELINE.json`.
+//! --jobs 4 --out sweep.json --check BENCH_BASELINE.json`, or in perf mode
+//! `-- --matrix smoke,stress,scale --bench --out BENCH_PERF.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod json;
+pub mod perf;
 pub mod policies;
 pub mod report;
 pub mod scenarios;
 pub mod sweep;
 
 pub use experiments::*;
+pub use perf::{compare_perf, PerfReport};
 pub use policies::Policy;
 pub use report::{compare_reports, CellMetrics, CellReport, SweepReport};
 pub use scenarios::{ClusterKind, Matrix, Scenario};

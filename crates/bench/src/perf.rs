@@ -1,0 +1,213 @@
+//! The machine-readable performance trajectory (`BENCH_PERF.json`).
+//!
+//! `sweep --bench` runs one or more named matrices and records, per matrix,
+//! the full cell reports *with wall-clock timings* into a [`PerfReport`].
+//! The committed `BENCH_PERF.json` at the repo root is one such snapshot;
+//! CI regenerates it on every push and uploads the result as an artifact,
+//! so the per-commit series of artifacts is a real performance trajectory —
+//! before→after numbers for any hot-path change are a download away.
+//!
+//! Two different strictness levels coexist in one file by design:
+//!
+//! * **metrics are gated** — [`compare_perf`] diffs every cell's metrics
+//!   against the baseline exactly like the smoke gate, so a perf run that
+//!   silently changed scheduling behavior fails CI;
+//! * **wall-clock is advisory** — timings differ across machines and are
+//!   never compared, only recorded.
+
+use crate::json::Json;
+use crate::report::{compare_reports, SweepReport};
+
+/// Version stamp of the perf-document schema, independent of the sweep
+/// report schema it embeds.
+pub const PERF_SCHEMA_VERSION: f64 = 1.0;
+
+/// A perf snapshot: one timed [`SweepReport`] per matrix run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// The timed sweep reports, in run order.
+    pub matrices: Vec<SweepReport>,
+}
+
+impl PerfReport {
+    /// Serializes the perf document (always with timings — that is the
+    /// point of the file).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::num(PERF_SCHEMA_VERSION)),
+            ("kind".into(), Json::str("perf")),
+            ("matrix_count".into(), Json::num(self.matrices.len() as f64)),
+            (
+                "matrices".into(),
+                Json::Arr(self.matrices.iter().map(|m| m.to_json(true)).collect()),
+            ),
+        ])
+    }
+
+    /// The canonical textual form (pretty JSON, trailing newline).
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses a perf document produced by [`PerfReport::to_json`].
+    pub fn from_json(value: &Json) -> Result<PerfReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("perf report missing 'schema_version'")?;
+        if version != PERF_SCHEMA_VERSION {
+            return Err(format!(
+                "perf schema version mismatch: file is v{version}, this binary expects \
+                 v{PERF_SCHEMA_VERSION} (regenerate BENCH_PERF.json)"
+            ));
+        }
+        let matrices = value
+            .get("matrices")
+            .and_then(Json::as_arr)
+            .ok_or("perf report missing 'matrices' array")?
+            .iter()
+            .map(SweepReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PerfReport { matrices })
+    }
+
+    /// Parses a perf document from its textual JSON form.
+    pub fn parse_str(text: &str) -> Result<PerfReport, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        PerfReport::from_json(&json)
+    }
+
+    /// One advisory summary line per matrix (total, median cell, slowest
+    /// cell) for the human on the other side of the CI log.
+    pub fn summary_lines(&self) -> Vec<String> {
+        self.matrices
+            .iter()
+            .map(|report| {
+                let mut cell_ms: Vec<f64> = report.cells.iter().map(|c| c.wall_clock_ms).collect();
+                cell_ms.sort_by(f64::total_cmp);
+                let median = cell_ms.get(cell_ms.len() / 2).copied().unwrap_or(0.0);
+                let slowest = report
+                    .cells
+                    .iter()
+                    .max_by(|a, b| a.wall_clock_ms.total_cmp(&b.wall_clock_ms));
+                format!(
+                    "perf '{}': {} cells, total {:.0} ms, median cell {:.0} ms{}",
+                    report.matrix,
+                    report.cells.len(),
+                    report.total_wall_clock_ms,
+                    median,
+                    slowest
+                        .map(|c| format!(", slowest {} at {:.0} ms", c.id, c.wall_clock_ms))
+                        .unwrap_or_default()
+                )
+            })
+            .collect()
+    }
+}
+
+/// Compares a fresh perf run against a committed baseline, **metrics
+/// only** — wall-clock never fails the gate. Matrices are matched by name;
+/// a baseline matrix absent from the current run is skipped (CI may run a
+/// subset), while a current matrix absent from the baseline is reported so
+/// a new matrix cannot slip in ungated.
+pub fn compare_perf(current: &PerfReport, baseline: &PerfReport, tol: f64) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for matrix in &current.matrices {
+        match baseline.matrices.iter().find(|b| b.matrix == matrix.matrix) {
+            Some(base) => diffs.extend(compare_reports(matrix, base, tol)),
+            None => diffs.push(format!(
+                "matrix '{}' not present in perf baseline (regenerate BENCH_PERF.json)",
+                matrix.matrix
+            )),
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Policy;
+    use crate::scenarios::{ClusterKind, Matrix};
+    use crate::sweep::run_sweep;
+
+    fn tiny_perf() -> PerfReport {
+        let matrix = Matrix {
+            policies: vec![Policy::Drf],
+            ..Matrix::point("tiny", ClusterKind::Rack16, 2, 3)
+        };
+        PerfReport {
+            matrices: vec![run_sweep(&matrix, 1)],
+        }
+    }
+
+    #[test]
+    fn perf_document_round_trips_with_timings() {
+        let perf = tiny_perf();
+        let text = perf.to_pretty_string();
+        assert!(text.contains("\"kind\": \"perf\""));
+        assert!(text.contains("wall_clock_ms"), "timings are the point");
+        let back = PerfReport::parse_str(&text).expect("perf JSON parses");
+        assert_eq!(back.matrices.len(), 1);
+        assert_eq!(back.matrices[0].matrix, "tiny");
+        assert_eq!(
+            back.matrices[0].cells[0].metrics,
+            perf.matrices[0].cells[0].metrics
+        );
+    }
+
+    #[test]
+    fn comparison_gates_metrics_but_not_wall_clock() {
+        let baseline = tiny_perf();
+        let mut current = baseline.clone();
+        // Wildly different timings: not a divergence.
+        current.matrices[0].total_wall_clock_ms *= 100.0;
+        for cell in &mut current.matrices[0].cells {
+            cell.wall_clock_ms += 1e6;
+        }
+        assert!(compare_perf(&current, &baseline, 1e-9).is_empty());
+        // A metric change: gated.
+        current.matrices[0].cells[0].metrics.gpu_hours += 1.0;
+        let diffs = compare_perf(&current, &baseline, 1e-9);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("gpu_hours"));
+    }
+
+    #[test]
+    fn subset_runs_pass_but_new_matrices_are_flagged() {
+        let both = PerfReport {
+            matrices: vec![tiny_perf().matrices.remove(0), {
+                let mut second = tiny_perf().matrices.remove(0);
+                second.matrix = "other".into();
+                second
+            }],
+        };
+        let only_first = PerfReport {
+            matrices: vec![both.matrices[0].clone()],
+        };
+        // Current ⊂ baseline: fine.
+        assert!(compare_perf(&only_first, &both, 1e-9).is_empty());
+        // Current ⊃ baseline: the extra matrix is flagged.
+        let diffs = compare_perf(&both, &only_first, 1e-9);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("'other'"));
+    }
+
+    #[test]
+    fn summary_lines_name_each_matrix() {
+        let perf = tiny_perf();
+        let lines = perf.summary_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("perf 'tiny'"));
+        assert!(lines[0].contains("slowest"));
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let text = tiny_perf()
+            .to_pretty_string()
+            .replace("\"schema_version\": 1", "\"schema_version\": 9");
+        let err = PerfReport::parse_str(&text).expect_err("must reject");
+        assert!(err.contains("perf schema version"), "{err}");
+    }
+}

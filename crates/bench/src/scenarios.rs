@@ -39,14 +39,23 @@ pub enum ClusterKind {
     /// A small 16-GPU rack (1 rack × 4 machines × 4 GPUs) for smoke tests
     /// and property tests where contention is easy to provoke.
     Rack16,
+    /// A synthetic 1024-GPU cluster (16 racks × 16 machines × 4 GPUs) for
+    /// scale studies beyond the paper's evaluation.
+    Scale1024,
+    /// A synthetic 4096-GPU cluster (32 racks × 32 machines × 4 GPUs) —
+    /// the `scale` matrix's largest cell. Only tractable with the dense
+    /// arena-backed scheduler core.
+    Scale4096,
 }
 
 impl ClusterKind {
     /// All cluster kinds, in size order.
-    pub const ALL: [ClusterKind; 3] = [
+    pub const ALL: [ClusterKind; 5] = [
         ClusterKind::Rack16,
         ClusterKind::Testbed50,
         ClusterKind::Sim256,
+        ClusterKind::Scale1024,
+        ClusterKind::Scale4096,
     ];
 
     /// Stable identifier used in scenario ids and JSON.
@@ -55,6 +64,8 @@ impl ClusterKind {
             ClusterKind::Sim256 => "sim256",
             ClusterKind::Testbed50 => "testbed50",
             ClusterKind::Rack16 => "rack16",
+            ClusterKind::Scale1024 => "scale1024",
+            ClusterKind::Scale4096 => "scale4096",
         }
     }
 
@@ -69,16 +80,23 @@ impl ClusterKind {
             ClusterKind::Sim256 => ClusterSpec::heterogeneous_256(),
             ClusterKind::Testbed50 => ClusterSpec::testbed_50(),
             ClusterKind::Rack16 => ClusterSpec::homogeneous(1, 4, 4),
+            ClusterKind::Scale1024 => ClusterSpec::synthetic(16, 16, 4),
+            ClusterKind::Scale4096 => ClusterSpec::synthetic(32, 32, 4),
         }
     }
 
     /// The trace configuration the paper pairs with this cluster:
     /// full-length durations for the simulated cluster, 1/5-scaled
-    /// durations for the 50-GPU testbed and the small rack.
+    /// durations for the 50-GPU testbed, the small rack and the synthetic
+    /// scale clusters (the scale matrix studies round cost, not long-run
+    /// convergence, so short jobs keep its wall-clock in seconds).
     pub fn base_trace_config(&self) -> TraceConfig {
         match self {
             ClusterKind::Sim256 => TraceConfig::default(),
-            ClusterKind::Testbed50 | ClusterKind::Rack16 => TraceConfig::testbed(),
+            ClusterKind::Testbed50
+            | ClusterKind::Rack16
+            | ClusterKind::Scale1024
+            | ClusterKind::Scale4096 => TraceConfig::testbed(),
         }
     }
 }
@@ -436,8 +454,27 @@ impl Matrix {
         }
     }
 
+    /// The scale matrix: synthetic 1024- and 4096-GPU clusters under
+    /// 100- and 500-app traces — cluster sizes far beyond the paper's 256
+    /// GPUs, only tractable with the dense arena-backed scheduler core
+    /// (the auction's exact solver hands over to the greedy fallback, and
+    /// the whole matrix finishes in seconds in release). Runs Themis plus
+    /// the cheapest baseline (Tiresias/LAS) as a non-auction engine-loop
+    /// reference; the quadratic greedy baselines (Gandiva, DRF, SLAQ)
+    /// would dominate the wall-clock and measure themselves, not the
+    /// auction core. Intended for `sweep --bench`: its per-cell wall-clock
+    /// is the perf trajectory CI accumulates per commit.
+    pub fn scale() -> Matrix {
+        Matrix {
+            clusters: vec![ClusterKind::Scale1024, ClusterKind::Scale4096],
+            apps: vec![100, 500],
+            policies: vec![Policy::themis_default(), Policy::Tiresias],
+            ..Matrix::point("scale", ClusterKind::Scale1024, 100, 42)
+        }
+    }
+
     /// Names accepted by [`Matrix::by_name`].
-    pub const NAMED: [&'static str; 5] = ["smoke", "full", "lease", "stress", "faults"];
+    pub const NAMED: [&'static str; 6] = ["smoke", "full", "lease", "stress", "faults", "scale"];
 
     /// Looks up a named matrix.
     pub fn by_name(name: &str) -> Option<Matrix> {
@@ -447,6 +484,7 @@ impl Matrix {
             "lease" => Some(Matrix::lease()),
             "stress" => Some(Matrix::stress()),
             "faults" => Some(Matrix::faults()),
+            "scale" => Some(Matrix::scale()),
             _ => None,
         }
     }

@@ -1,6 +1,15 @@
 //! Mutable cluster state: which GPU is held by which job under which lease.
+//!
+//! Allocation state is a dense arena: a `Vec<Option<Assignment>>` indexed
+//! by GPU id (GPU ids are dense, builder-assigned), with an incrementally
+//! maintained per-machine free-count vector and a sorted per-app GPU index.
+//! Every query the schedulers ask per auction round — the free vector, an
+//! app's allocation, a job's allocation — is answered from those indices
+//! without walking an ordered tree, and all iteration orders remain
+//! ascending-by-id so scheduling decisions are identical to the previous
+//! `BTreeMap`-backed representation.
 
-use crate::alloc::{FreeVector, GpuAlloc};
+use crate::alloc::{DenseBitSet, FreeVector, GpuAlloc};
 use crate::error::ClusterError;
 use crate::ids::{AppId, GpuId, JobId, MachineId};
 use crate::lease::{Lease, LeaseTable};
@@ -27,7 +36,17 @@ pub struct Assignment {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cluster {
     spec: ClusterSpec,
-    assignments: BTreeMap<GpuId, Assignment>,
+    /// Dense assignment arena, indexed by GPU id.
+    assignments: Vec<Option<Assignment>>,
+    /// Free GPUs per machine, maintained incrementally (machine-indexed).
+    free_per_machine: Vec<u32>,
+    /// One bit per GPU, set while the GPU is free (maintained alongside
+    /// the arena; `ClusterView` seeds its shadow with a plain clone).
+    free_mask: DenseBitSet,
+    /// Number of allocated GPUs.
+    allocated: usize,
+    /// Sorted GPU list per app (app-id indexed; empty for idle/unknown apps).
+    per_app: Vec<Vec<GpuId>>,
     leases: LeaseTable,
     scorer: PlacementScorer,
 }
@@ -35,19 +54,28 @@ pub struct Cluster {
 impl Cluster {
     /// Creates a fully-idle cluster from a specification.
     pub fn new(spec: ClusterSpec) -> Self {
-        Cluster {
-            spec,
-            assignments: BTreeMap::new(),
-            leases: LeaseTable::new(),
-            scorer: PlacementScorer::default(),
-        }
+        Self::with_scorer(spec, PlacementScorer::default())
     }
 
     /// Creates a cluster with a custom placement scorer.
     pub fn with_scorer(spec: ClusterSpec, scorer: PlacementScorer) -> Self {
+        let assignments = vec![None; spec.total_gpus()];
+        let free_per_machine = spec
+            .machines()
+            .iter()
+            .map(|m| m.num_gpus() as u32)
+            .collect();
+        let mut free_mask = DenseBitSet::with_universe(spec.total_gpus());
+        for idx in 0..spec.total_gpus() {
+            free_mask.insert(idx);
+        }
         Cluster {
             spec,
-            assignments: BTreeMap::new(),
+            assignments,
+            free_per_machine,
+            free_mask,
+            allocated: 0,
+            per_app: Vec::new(),
             leases: LeaseTable::new(),
             scorer,
         }
@@ -75,7 +103,25 @@ impl Cluster {
 
     /// Number of GPUs currently allocated.
     pub fn allocated_gpus(&self) -> usize {
-        self.assignments.len()
+        self.allocated
+    }
+
+    /// Number of GPUs currently free. O(1).
+    pub fn free_gpu_count(&self) -> usize {
+        self.total_gpus() - self.allocated
+    }
+
+    /// The incrementally maintained per-machine free counts
+    /// (machine-indexed). Crate-internal: `ClusterView` seeds its shadow
+    /// counts from this with a single copy.
+    pub(crate) fn free_counts(&self) -> &[u32] {
+        &self.free_per_machine
+    }
+
+    /// The maintained free-GPU bitmask. Crate-internal: `ClusterView`
+    /// seeds its shadow mask with a single clone.
+    pub(crate) fn free_mask(&self) -> &DenseBitSet {
+        &self.free_mask
     }
 
     /// Fraction of GPUs currently allocated, in `[0, 1]`.
@@ -89,15 +135,20 @@ impl Cluster {
 
     /// The assignment holding a GPU, if it is allocated.
     pub fn assignment(&self, gpu: GpuId) -> Option<Assignment> {
-        self.assignments.get(&gpu).copied()
+        self.assignments.get(gpu.index()).copied().flatten()
     }
 
-    /// All currently free GPUs, in id order.
+    /// Whether a GPU exists in the topology and is currently free.
+    pub fn is_free(&self, gpu: GpuId) -> bool {
+        matches!(self.assignments.get(gpu.index()), Some(None))
+    }
+
+    /// All currently free GPUs, in id order (a word-skipping walk over
+    /// the maintained free bitmask).
     pub fn free_gpus(&self) -> Vec<GpuId> {
-        self.spec
-            .all_gpus()
-            .filter(|g| !self.assignments.contains_key(g))
-            .collect()
+        let mut out = Vec::with_capacity(self.free_gpu_count());
+        out.extend(self.free_mask.iter().map(|idx| GpuId(idx as u32)));
+        out
     }
 
     /// Free GPUs on a specific machine, in id order.
@@ -107,57 +158,111 @@ impl Cluster {
                 .gpus
                 .iter()
                 .copied()
-                .filter(|g| !self.assignments.contains_key(g))
+                .filter(|g| self.is_free(*g))
                 .collect(),
             None => Vec::new(),
         }
     }
 
-    /// The per-machine free-GPU vector (the auction offer `R`).
+    /// The per-machine free-GPU vector (the auction offer `R`). O(machines).
     pub fn free_vector(&self) -> FreeVector {
-        FreeVector::from_gpus(self.free_gpus(), &self.spec)
+        FreeVector::from_counts(
+            self.free_per_machine
+                .iter()
+                .enumerate()
+                .map(|(m, c)| (MachineId(m as u32), *c as usize)),
+        )
+    }
+
+    fn app_gpus(&self, app: AppId) -> &[GpuId] {
+        self.per_app
+            .get(app.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All GPUs currently held by an app.
     pub fn gpus_of_app(&self, app: AppId) -> GpuAlloc {
-        GpuAlloc::from_gpus(
-            self.assignments
-                .iter()
-                .filter(|(_, a)| a.app == app)
-                .map(|(g, _)| *g),
-        )
+        GpuAlloc::from_sorted(self.app_gpus(app).to_vec())
+    }
+
+    /// Number of GPUs currently held by an app. O(1).
+    pub fn gpus_held_by(&self, app: AppId) -> usize {
+        self.app_gpus(app).len()
     }
 
     /// All GPUs currently held by an app, grouped by job. One pass over the
-    /// assignment table — prefer this over calling [`Cluster::gpus_of_job`]
+    /// app's GPU index — prefer this over calling [`Cluster::gpus_of_job`]
     /// in a loop.
     pub fn jobs_of_app(&self, app: AppId) -> BTreeMap<JobId, GpuAlloc> {
-        let mut by_job: BTreeMap<JobId, GpuAlloc> = BTreeMap::new();
-        for (gpu, assignment) in &self.assignments {
-            if assignment.app == app {
-                by_job.entry(assignment.job).or_default().insert(*gpu);
-            }
+        let mut by_job: BTreeMap<JobId, Vec<GpuId>> = BTreeMap::new();
+        for &gpu in self.app_gpus(app) {
+            let assignment = self.assignments[gpu.index()].expect("indexed gpu is assigned");
+            by_job.entry(assignment.job).or_default().push(gpu);
         }
         by_job
+            .into_iter()
+            .map(|(job, gpus)| (job, GpuAlloc::from_sorted(gpus)))
+            .collect()
     }
 
     /// All GPUs currently held by a specific job.
     pub fn gpus_of_job(&self, app: AppId, job: JobId) -> GpuAlloc {
-        GpuAlloc::from_gpus(
-            self.assignments
+        GpuAlloc::from_sorted(
+            self.app_gpus(app)
                 .iter()
-                .filter(|(_, a)| a.app == app && a.job == job)
-                .map(|(g, _)| *g),
+                .copied()
+                .filter(|g| {
+                    self.assignments[g.index()]
+                        .expect("indexed gpu is assigned")
+                        .job
+                        == job
+                })
+                .collect(),
         )
     }
 
     /// Apps that currently hold at least one GPU, with their GPU counts.
     pub fn apps_with_gpus(&self) -> BTreeMap<AppId, usize> {
-        let mut counts = BTreeMap::new();
-        for a in self.assignments.values() {
-            *counts.entry(a.app).or_insert(0) += 1;
+        self.per_app
+            .iter()
+            .enumerate()
+            .filter(|(_, gpus)| !gpus.is_empty())
+            .map(|(app, gpus)| (AppId(app as u32), gpus.len()))
+            .collect()
+    }
+
+    /// Records an assignment in the arena and every derived index.
+    fn index_assignment(&mut self, gpu: GpuId, assignment: Assignment) {
+        self.assignments[gpu.index()] = Some(assignment);
+        self.free_mask.remove(gpu.index());
+        self.allocated += 1;
+        let machine = self.spec.machine_of(gpu).expect("gpu exists").index();
+        self.free_per_machine[machine] -= 1;
+        let app_idx = assignment.app.index();
+        if app_idx >= self.per_app.len() {
+            self.per_app.resize_with(app_idx + 1, Vec::new);
         }
-        counts
+        let list = &mut self.per_app[app_idx];
+        match list.binary_search(&gpu) {
+            Ok(_) => unreachable!("gpu was free, cannot already be indexed"),
+            Err(pos) => list.insert(pos, gpu),
+        }
+    }
+
+    /// Clears an assignment from the arena and every derived index.
+    /// Returns the previous assignment, if any.
+    fn clear_assignment(&mut self, gpu: GpuId) -> Option<Assignment> {
+        let slot = self.assignments.get_mut(gpu.index())?;
+        let assignment = slot.take()?;
+        self.free_mask.insert(gpu.index());
+        self.allocated -= 1;
+        let machine = self.spec.machine_of(gpu).expect("gpu exists").index();
+        self.free_per_machine[machine] += 1;
+        let list = &mut self.per_app[assignment.app.index()];
+        let pos = list.binary_search(&gpu).expect("assigned gpu is indexed");
+        list.remove(pos);
+        Some(assignment)
     }
 
     /// Allocates a single GPU to `(app, job)` under a lease expiring at
@@ -170,16 +275,17 @@ impl Cluster {
         now: Time,
         expires_at: Time,
     ) -> Result<(), ClusterError> {
-        if self.spec.machine_of(gpu).is_none() {
-            return Err(ClusterError::UnknownGpu { gpu });
+        match self.assignments.get(gpu.index()) {
+            None => return Err(ClusterError::UnknownGpu { gpu }),
+            Some(Some(existing)) => {
+                return Err(ClusterError::GpuBusy {
+                    gpu,
+                    held_by: existing.app,
+                })
+            }
+            Some(None) => {}
         }
-        if let Some(existing) = self.assignments.get(&gpu) {
-            return Err(ClusterError::GpuBusy {
-                gpu,
-                held_by: existing.app,
-            });
-        }
-        self.assignments.insert(gpu, Assignment { app, job });
+        self.index_assignment(gpu, Assignment { app, job });
         self.leases.grant(Lease {
             gpu,
             app,
@@ -223,7 +329,7 @@ impl Cluster {
     /// Releases a GPU (revoking its lease). Errors if the GPU is not
     /// allocated.
     pub fn release(&mut self, gpu: GpuId) -> Result<Assignment, ClusterError> {
-        match self.assignments.remove(&gpu) {
+        match self.clear_assignment(gpu) {
             Some(assignment) => {
                 self.leases.revoke(gpu);
                 Ok(assignment)
@@ -234,7 +340,7 @@ impl Cluster {
 
     /// Releases every GPU held by an app, returning the freed GPUs.
     pub fn release_app(&mut self, app: AppId) -> Vec<GpuId> {
-        let gpus: Vec<GpuId> = self.gpus_of_app(app).into_iter().collect();
+        let gpus: Vec<GpuId> = self.app_gpus(app).to_vec();
         for gpu in &gpus {
             let _ = self.release(*gpu);
         }
@@ -255,7 +361,7 @@ impl Cluster {
     pub fn reclaim_expired_leases(&mut self, now: Time) -> Vec<Lease> {
         let expired = self.leases.reclaim_expired(now);
         for lease in &expired {
-            self.assignments.remove(&lease.gpu);
+            self.clear_assignment(lease.gpu);
         }
         expired
     }
@@ -263,7 +369,7 @@ impl Cluster {
     /// Extends the lease of every GPU held by an app to `new_expiry`.
     /// Returns the number of leases extended.
     pub fn extend_app_leases(&mut self, app: AppId, new_expiry: Time) -> usize {
-        let gpus: Vec<GpuId> = self.gpus_of_app(app).into_iter().collect();
+        let gpus: Vec<GpuId> = self.app_gpus(app).to_vec();
         gpus.into_iter()
             .filter(|g| self.leases.extend(*g, new_expiry))
             .count()
@@ -299,6 +405,7 @@ mod tests {
         let c = cluster();
         assert_eq!(c.total_gpus(), 8);
         assert_eq!(c.allocated_gpus(), 0);
+        assert_eq!(c.free_gpu_count(), 8);
         assert_eq!(c.utilization(), 0.0);
         assert_eq!(c.free_vector().total(), 8);
     }
@@ -315,8 +422,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.allocated_gpus(), 1);
+        assert_eq!(c.free_gpu_count(), 7);
         assert_eq!(c.assignment(GpuId(0)).unwrap().app, AppId(1));
+        assert!(!c.is_free(GpuId(0)));
+        assert!(c.is_free(GpuId(1)));
+        assert!(!c.is_free(GpuId(99)), "unknown gpu is not free");
         assert_eq!(c.free_vector().on_machine(MachineId(0)), 3);
+        assert_eq!(c.gpus_held_by(AppId(1)), 1);
 
         // Double allocation fails.
         let err = c
@@ -333,6 +445,7 @@ mod tests {
         let assignment = c.release(GpuId(0)).unwrap();
         assert_eq!(assignment.app, AppId(1));
         assert!(c.release(GpuId(0)).is_err());
+        assert_eq!(c.gpus_held_by(AppId(1)), 0);
     }
 
     #[test]
@@ -406,6 +519,7 @@ mod tests {
         assert_eq!(reclaimed.len(), 1);
         assert_eq!(reclaimed[0].gpu, GpuId(0));
         assert_eq!(c.allocated_gpus(), 1);
+        assert_eq!(c.gpus_held_by(AppId(1)), 1);
     }
 
     #[test]
@@ -430,10 +544,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.gpus_of_app(AppId(1)).len(), 3);
+        let by_job = c.jobs_of_app(AppId(1));
+        assert_eq!(by_job[&JobId(0)].len(), 2);
+        assert_eq!(by_job[&JobId(1)].len(), 1);
         let freed = c.release_job(AppId(1), JobId(0));
-        assert_eq!(freed.len(), 2);
+        assert_eq!(freed, vec![GpuId(0), GpuId(1)]);
         let freed = c.release_app(AppId(1));
-        assert_eq!(freed.len(), 1);
+        assert_eq!(freed, vec![GpuId(2)]);
         assert_eq!(c.gpus_of_app(AppId(2)).len(), 1);
     }
 
@@ -513,5 +630,28 @@ mod tests {
         let counts = c.apps_with_gpus();
         assert_eq!(counts[&AppId(1)], 1);
         assert_eq!(counts[&AppId(2)], 2);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn free_counts_stay_consistent_under_churn() {
+        let mut c = cluster();
+        for gpu in 0..8u32 {
+            c.allocate(
+                GpuId(gpu),
+                AppId(gpu % 3),
+                JobId(0),
+                Time::ZERO,
+                Time::minutes(20.0),
+            )
+            .unwrap();
+        }
+        assert_eq!(c.free_gpu_count(), 0);
+        assert!(c.free_vector().is_empty());
+        c.release_app(AppId(0));
+        assert_eq!(c.free_gpu_count(), 3);
+        assert_eq!(c.free_gpus(), vec![GpuId(0), GpuId(3), GpuId(6)]);
+        assert_eq!(c.free_vector().total(), 3);
+        assert_eq!(c.free_gpus_on(MachineId(0)), vec![GpuId(0), GpuId(3)]);
     }
 }

@@ -13,8 +13,11 @@
 //! * locality levels and placement scoring ([`placement`]),
 //! * GPU leases, the mechanism by which Themis reclaims resources
 //!   ([`lease`]),
-//! * and the mutable [`Cluster`] state that tracks which GPU is held by
-//!   which job under which lease ([`cluster`]).
+//! * the mutable [`Cluster`] state that tracks which GPU is held by
+//!   which job under which lease in a dense assignment arena ([`cluster`]),
+//! * and borrowed per-round scheduling views — the [`view::ClusterState`]
+//!   trait plus the allocation-free [`view::ClusterView`] shadow policies
+//!   use instead of cloning the cluster every round ([`view`]).
 //!
 //! The types here are deliberately free of any scheduling policy; the
 //! policies live in `themis-core` (Themis itself) and `themis-baselines`.
@@ -45,10 +48,11 @@ pub mod lease;
 pub mod placement;
 pub mod time;
 pub mod topology;
+pub mod view;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::alloc::{FreeVector, GpuAlloc};
+    pub use crate::alloc::{DenseBitSet, FreeVector, GpuAlloc};
     pub use crate::cluster::Cluster;
     pub use crate::error::ClusterError;
     pub use crate::ids::{AppId, GpuId, JobId, MachineId, RackId, TaskId};
@@ -56,6 +60,7 @@ pub mod prelude {
     pub use crate::placement::{Locality, PlacementScorer};
     pub use crate::time::Time;
     pub use crate::topology::{ClusterSpec, GpuModel, MachineSpec, RackSpec};
+    pub use crate::view::{ClusterState, ClusterView};
 }
 
 pub use prelude::*;

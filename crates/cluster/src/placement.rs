@@ -14,7 +14,6 @@
 use crate::alloc::GpuAlloc;
 use crate::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// The tightest network boundary an allocation fits inside.
 ///
@@ -61,31 +60,40 @@ impl std::fmt::Display for Locality {
 /// Computes the spread ([`Locality`]) of an allocation.
 ///
 /// Returns `Locality::Slot` for empty or single-GPU allocations (a single GPU
-/// has ideal placement by definition).
+/// has ideal placement by definition). One pass over the allocation using
+/// the spec's precomputed GPU→(machine, rack, slot) table — no set
+/// construction, no per-machine scans.
 pub fn spread(alloc: &GpuAlloc, spec: &ClusterSpec) -> Locality {
     if alloc.len() <= 1 {
         return Locality::Slot;
     }
-    let machines: BTreeSet<_> = alloc.machines(spec);
-    if machines.len() == 1 {
-        let machine_id = *machines.iter().next().expect("non-empty set");
-        let machine = spec
-            .machine(machine_id)
-            .expect("allocation references machine in spec");
-        let slots: BTreeSet<_> = alloc.iter().filter_map(|g| machine.slot_of(g)).collect();
-        if slots.len() <= 1 {
-            return Locality::Slot;
+    let mut first = None;
+    let mut same_machine = true;
+    let mut same_rack = true;
+    let mut same_slot = true;
+    for gpu in alloc.iter() {
+        let Some(loc) = spec.location_of(gpu) else {
+            continue;
+        };
+        match first {
+            None => first = Some(loc),
+            Some(anchor) => {
+                same_machine &= loc.machine == anchor.machine;
+                same_rack &= loc.rack == anchor.rack;
+                same_slot &= loc.slot == anchor.slot;
+            }
         }
-        return Locality::Machine;
     }
-    let racks: BTreeSet<_> = machines
-        .iter()
-        .filter_map(|m| spec.machine(*m).map(|m| m.rack))
-        .collect();
-    if racks.len() == 1 {
-        Locality::Rack
-    } else {
-        Locality::CrossRack
+    if first.is_none() {
+        // A multi-GPU allocation with no GPU known to this spec: worst
+        // placement, matching the previous set-based implementation.
+        return Locality::CrossRack;
+    }
+    match (same_machine, same_slot, same_rack) {
+        (true, true, _) => Locality::Slot,
+        (true, false, _) => Locality::Machine,
+        (false, _, true) => Locality::Rack,
+        (false, _, false) => Locality::CrossRack,
     }
 }
 

@@ -59,12 +59,34 @@ impl MachineSpec {
 
     /// The slot index (within this machine) of a GPU, or `None` if the GPU
     /// is not on this machine.
+    ///
+    /// O(1) for builder-assigned specs: the builder hands out consecutive
+    /// GPU ids per machine, so the position is an offset from the first id.
+    /// A hand-built spec with non-contiguous ids falls back to a scan.
     pub fn slot_of(&self, gpu: GpuId) -> Option<usize> {
-        self.gpus
-            .iter()
-            .position(|g| *g == gpu)
-            .map(|idx| idx / self.slot_size.max(1))
+        let first = self.gpus.first()?;
+        let offset_hit = (gpu.0 as usize)
+            .checked_sub(first.0 as usize)
+            .filter(|offset| self.gpus.get(*offset) == Some(&gpu));
+        let idx = match offset_hit {
+            Some(offset) => offset,
+            None => self.gpus.iter().position(|g| *g == gpu)?,
+        };
+        Some(idx / self.slot_size.max(1))
     }
+}
+
+/// Precomputed location of one GPU: its machine, rack and NVLink slot.
+/// Built once by the [`ClusterSpecBuilder`], so placement scoring never
+/// has to scan a machine's GPU list at auction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuLocation {
+    /// Machine holding the GPU.
+    pub machine: MachineId,
+    /// Rack the machine lives in.
+    pub rack: RackId,
+    /// NVLink slot index within the machine.
+    pub slot: u32,
 }
 
 /// Description of a rack: a set of machines.
@@ -81,8 +103,8 @@ pub struct RackSpec {
 pub struct ClusterSpec {
     machines: Vec<MachineSpec>,
     racks: Vec<RackSpec>,
-    /// gpu index -> machine index (dense lookup).
-    gpu_to_machine: Vec<MachineId>,
+    /// gpu index -> (machine, rack, slot) (dense lookup).
+    gpu_locations: Vec<GpuLocation>,
 }
 
 impl ClusterSpec {
@@ -108,7 +130,7 @@ impl ClusterSpec {
 
     /// Total number of GPUs in the cluster.
     pub fn total_gpus(&self) -> usize {
-        self.gpu_to_machine.len()
+        self.gpu_locations.len()
     }
 
     /// Total number of machines in the cluster.
@@ -123,14 +145,23 @@ impl ClusterSpec {
 
     /// The machine a GPU belongs to, or `None` for an unknown GPU.
     pub fn machine_of(&self, gpu: GpuId) -> Option<MachineId> {
-        self.gpu_to_machine.get(gpu.index()).copied()
+        self.gpu_locations.get(gpu.index()).map(|l| l.machine)
     }
 
     /// The rack a GPU belongs to, or `None` for an unknown GPU.
     pub fn rack_of(&self, gpu: GpuId) -> Option<RackId> {
-        self.machine_of(gpu)
-            .and_then(|m| self.machine(m))
-            .map(|m| m.rack)
+        self.gpu_locations.get(gpu.index()).map(|l| l.rack)
+    }
+
+    /// The NVLink slot index (within its machine) of a GPU, or `None` for
+    /// an unknown GPU. O(1) via the precomputed location table.
+    pub fn slot_of(&self, gpu: GpuId) -> Option<usize> {
+        self.gpu_locations.get(gpu.index()).map(|l| l.slot as usize)
+    }
+
+    /// The full precomputed location of a GPU, or `None` for an unknown GPU.
+    pub fn location_of(&self, gpu: GpuId) -> Option<GpuLocation> {
+        self.gpu_locations.get(gpu.index()).copied()
     }
 
     /// Iterates over every GPU id in the cluster.
@@ -182,6 +213,19 @@ impl ClusterSpec {
         machines_per_rack: usize,
         gpus_per_machine: usize,
     ) -> ClusterSpec {
+        ClusterSpec::synthetic(racks, machines_per_rack, gpus_per_machine)
+    }
+
+    /// A synthetic homogeneous cluster for scale studies beyond the paper's
+    /// 256 GPUs: `racks` racks × `machines_per_rack` machines ×
+    /// `gpus_per_machine` GPUs (generic GPU model, one NVLink slot per GPU
+    /// pair). The `scale` scenario matrix builds its 1024- and 4096-GPU
+    /// clusters with this constructor.
+    pub fn synthetic(
+        racks: usize,
+        machines_per_rack: usize,
+        gpus_per_machine: usize,
+    ) -> ClusterSpec {
         let mut b = ClusterSpec::builder();
         for _ in 0..racks {
             b = b.rack(|r| r.machines(machines_per_rack, gpus_per_machine));
@@ -208,7 +252,7 @@ impl ClusterSpecBuilder {
     pub fn build(self) -> ClusterSpec {
         let mut machines = Vec::new();
         let mut racks = Vec::new();
-        let mut gpu_to_machine = Vec::new();
+        let mut gpu_locations = Vec::new();
         let mut next_gpu = 0u32;
         let mut next_machine = 0u32;
 
@@ -216,17 +260,22 @@ impl ClusterSpecBuilder {
             let rack_id = RackId(rack_idx as u32);
             let mut rack_machines = Vec::new();
             for group in rack.groups {
+                let slot_size = group.slot_size.max(1);
                 for _ in 0..group.count {
                     let machine_id = MachineId(next_machine);
                     next_machine += 1;
                     let gpus: Vec<GpuId> = (0..group.gpus_per_machine)
-                        .map(|_| {
+                        .map(|slot_idx| {
                             let id = GpuId(next_gpu);
                             next_gpu += 1;
+                            gpu_locations.push(GpuLocation {
+                                machine: machine_id,
+                                rack: rack_id,
+                                slot: (slot_idx / slot_size) as u32,
+                            });
                             id
                         })
                         .collect();
-                    gpu_to_machine.extend(std::iter::repeat_n(machine_id, gpus.len()));
                     machines.push(MachineSpec {
                         id: machine_id,
                         rack: rack_id,
@@ -246,7 +295,7 @@ impl ClusterSpecBuilder {
         ClusterSpec {
             machines,
             racks,
-            gpu_to_machine,
+            gpu_locations,
         }
     }
 }
@@ -354,6 +403,60 @@ mod tests {
         let spec = ClusterSpec::homogeneous(2, 3, 4);
         assert_eq!(spec.total_gpus(), 24);
         assert!(spec.machines().iter().all(|m| m.num_gpus() == 4));
+    }
+
+    #[test]
+    fn synthetic_scales_to_thousands_of_gpus() {
+        let spec = ClusterSpec::synthetic(16, 16, 4);
+        assert_eq!(spec.total_gpus(), 1024);
+        assert_eq!(spec.total_machines(), 256);
+        assert_eq!(spec.total_racks(), 16);
+        // The dense lookup covers the last GPU too.
+        assert_eq!(spec.machine_of(GpuId(1023)), Some(MachineId(255)));
+        assert_eq!(spec.rack_of(GpuId(1023)), Some(RackId(15)));
+    }
+
+    #[test]
+    fn precomputed_locations_match_machine_lookup() {
+        let spec = ClusterSpec::heterogeneous_256();
+        for gpu in spec.all_gpus() {
+            let loc = spec.location_of(gpu).expect("gpu exists");
+            let machine = spec.machine(loc.machine).expect("machine exists");
+            assert!(machine.gpus.contains(&gpu));
+            assert_eq!(machine.rack, loc.rack);
+            assert_eq!(machine.slot_of(gpu), Some(loc.slot as usize));
+            assert_eq!(spec.slot_of(gpu), Some(loc.slot as usize));
+        }
+        assert_eq!(spec.location_of(GpuId(256)), None);
+        assert_eq!(spec.slot_of(GpuId(256)), None);
+    }
+
+    #[test]
+    fn slot_of_handles_non_contiguous_specs() {
+        // A hand-built machine whose GPU ids are not consecutive: the O(1)
+        // offset fast path misses and the fallback scan must still answer.
+        let machine = MachineSpec {
+            id: MachineId(0),
+            rack: RackId(0),
+            gpus: vec![GpuId(3), GpuId(7), GpuId(9), GpuId(12)],
+            slot_size: 2,
+            gpu_model: GpuModel::Generic,
+        };
+        assert_eq!(machine.slot_of(GpuId(3)), Some(0));
+        assert_eq!(machine.slot_of(GpuId(7)), Some(0));
+        assert_eq!(machine.slot_of(GpuId(9)), Some(1));
+        assert_eq!(machine.slot_of(GpuId(12)), Some(1));
+        assert_eq!(machine.slot_of(GpuId(8)), None);
+        assert_eq!(machine.slot_of(GpuId(0)), None);
+        // An *unsorted* hand-built list: ids smaller than gpus[0] make the
+        // offset subtraction underflow, and the scan must still find them.
+        let unsorted = MachineSpec {
+            gpus: vec![GpuId(5), GpuId(3)],
+            ..machine
+        };
+        assert_eq!(unsorted.slot_of(GpuId(5)), Some(0));
+        assert_eq!(unsorted.slot_of(GpuId(3)), Some(0));
+        assert_eq!(unsorted.slot_of(GpuId(4)), None);
     }
 
     #[test]

@@ -54,22 +54,93 @@ pub struct AuctionOutcome {
 
 impl AuctionOutcome {
     /// Every grant made this round: auction awards plus leftover grants,
-    /// merged per app.
+    /// merged per app — a borrowing convenience for diagnostics and tests
+    /// that still need the outcome afterwards. Clones each grant; the
+    /// schedulers' hot path uses the draining
+    /// [`into_all_grants`](AuctionOutcome::into_all_grants) instead.
     pub fn all_grants(&self) -> BTreeMap<AppId, FreeVector> {
         let mut grants = self.winners.clone();
         for (app, extra) in &self.leftover_grants {
-            let merged = grants
-                .get(app)
-                .map(|g| g.add(extra))
-                .unwrap_or_else(|| extra.clone());
-            grants.insert(*app, merged);
+            match grants.entry(*app) {
+                std::collections::btree_map::Entry::Occupied(mut won) => {
+                    won.get_mut().add_assign(extra);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(extra.clone());
+                }
+            }
         }
         grants
     }
 
-    /// Total GPUs granted this round.
+    /// Every grant made this round: auction awards plus leftover grants,
+    /// merged per app. Consumes the outcome and *drains* both maps into
+    /// the result — no `FreeVector` is cloned.
+    pub fn into_all_grants(self) -> BTreeMap<AppId, FreeVector> {
+        let mut grants = self.winners;
+        for (app, extra) in self.leftover_grants {
+            match grants.entry(app) {
+                std::collections::btree_map::Entry::Occupied(mut won) => {
+                    won.get_mut().add_assign(&extra);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(extra);
+                }
+            }
+        }
+        grants
+    }
+
+    /// Total GPUs granted this round. Computed directly from the award and
+    /// leftover maps — merging them per app cannot change the sum.
     pub fn total_granted(&self) -> usize {
-        self.all_grants().values().map(|g| g.total()).sum()
+        self.winners.values().map(|g| g.total()).sum::<usize>()
+            + self
+                .leftover_grants
+                .values()
+                .map(|g| g.total())
+                .sum::<usize>()
+    }
+}
+
+/// Reusable per-round scratch buffers. The leftover-allocation loop used
+/// to rebuild `BTreeMap`s of demands, footprints and grants every round;
+/// these vectors (parallel to the round's `statuses` slice) are cleared
+/// and reused instead, so a steady-state auction round allocates nothing
+/// for its bookkeeping.
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// `(app, status index)` pairs sorted by app id — the iteration order
+    /// the old `BTreeMap`s provided.
+    order: Vec<(AppId, usize)>,
+    /// Remaining unmet demand per status index.
+    demand: Vec<usize>,
+    /// Leftover grants per status index (vectors are reused across rounds).
+    grants: Vec<FreeVector>,
+    /// Participants sorted by app id, for binary-search membership.
+    participants: Vec<AppId>,
+    /// Candidate recipients of the leftover GPU under consideration,
+    /// as `(app, status index)` pairs so the pick needs no re-lookup.
+    candidates: Vec<(AppId, usize)>,
+}
+
+impl RoundScratch {
+    fn reset(&mut self, statuses: &[AppStatus], participants: &[AppId]) {
+        self.order.clear();
+        self.order
+            .extend(statuses.iter().enumerate().map(|(idx, s)| (s.app, idx)));
+        self.order.sort_unstable();
+        self.demand.clear();
+        self.demand.resize(statuses.len(), 0);
+        for grant in &mut self.grants {
+            grant.clear();
+        }
+        if self.grants.len() < statuses.len() {
+            self.grants.resize_with(statuses.len(), FreeVector::empty);
+        }
+        self.participants.clear();
+        self.participants.extend_from_slice(participants);
+        self.participants.sort_unstable();
     }
 }
 
@@ -79,6 +150,7 @@ pub struct Arbiter {
     config: ThemisConfig,
     round: u64,
     rng: SmallRng,
+    scratch: RoundScratch,
 }
 
 impl Arbiter {
@@ -87,6 +159,7 @@ impl Arbiter {
         Arbiter {
             round: 0,
             rng: SmallRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            scratch: RoundScratch::default(),
             config,
         }
     }
@@ -158,38 +231,32 @@ impl Arbiter {
         // have an allocation on the GPU's machine; ties broken at random.
         // If no outside app can take a GPU, fall back to participants with
         // remaining unmet demand so the allocation stays work-conserving.
-        let participant_set: BTreeSet<AppId> = participants.iter().copied().collect();
-        let mut remaining_demand: BTreeMap<AppId, usize> = statuses
-            .iter()
-            .map(|s| {
-                let granted = winners.get(&s.app).map(|w| w.total()).unwrap_or(0);
-                (s.app, s.unmet_demand.saturating_sub(granted))
-            })
-            .collect();
-        let footprints: BTreeMap<AppId, &BTreeSet<MachineId>> =
-            statuses.iter().map(|s| (s.app, &s.footprint)).collect();
+        self.scratch.reset(statuses, participants);
+        for &(app, idx) in &self.scratch.order {
+            let granted = winners.get(&app).map(|w| w.total()).unwrap_or(0);
+            self.scratch.demand[idx] = statuses[idx].unmet_demand.saturating_sub(granted);
+        }
 
-        let mut leftover_grants: BTreeMap<AppId, FreeVector> = BTreeMap::new();
         let mut leftover = auction.leftover.clone();
         let machines: Vec<MachineId> = leftover.machines().collect();
         for machine in machines {
             while leftover.on_machine(machine) > 0 {
-                let pick = self.pick_leftover_recipient(
-                    machine,
-                    &participant_set,
-                    &remaining_demand,
-                    &footprints,
-                    &leftover_grants,
-                );
-                let Some(app) = pick else { break };
-                let grant = leftover_grants.entry(app).or_insert_with(FreeVector::empty);
+                let pick = self.pick_leftover_recipient(machine, statuses);
+                let Some((app, idx)) = pick else { break };
+                debug_assert_eq!(statuses[idx].app, app);
+                let grant = &mut self.scratch.grants[idx];
                 grant.set(machine, grant.on_machine(machine) + 1);
                 leftover.set(machine, leftover.on_machine(machine) - 1);
-                if let Some(d) = remaining_demand.get_mut(&app) {
-                    *d = d.saturating_sub(1);
-                }
+                self.scratch.demand[idx] = self.scratch.demand[idx].saturating_sub(1);
             }
         }
+        let leftover_grants: BTreeMap<AppId, FreeVector> = self
+            .scratch
+            .order
+            .iter()
+            .filter(|(_, idx)| !self.scratch.grants[*idx].is_empty())
+            .map(|(app, idx)| (*app, self.scratch.grants[*idx].clone()))
+            .collect();
 
         AuctionOutcome {
             round: self.round,
@@ -200,44 +267,40 @@ impl Arbiter {
         }
     }
 
-    /// Chooses the recipient of one leftover GPU on `machine`.
+    /// Chooses the recipient of one leftover GPU on `machine`, returning
+    /// the app and its status index. Candidates come from the scratch
+    /// buffers in ascending app-id order (matching the old `BTreeMap`
+    /// iteration), so the RNG tie-break stream is unchanged.
     fn pick_leftover_recipient(
         &mut self,
         machine: MachineId,
-        participants: &BTreeSet<AppId>,
-        remaining_demand: &BTreeMap<AppId, usize>,
-        footprints: &BTreeMap<AppId, &BTreeSet<MachineId>>,
-        leftover_grants: &BTreeMap<AppId, FreeVector>,
-    ) -> Option<AppId> {
-        let wants = |app: &AppId| remaining_demand.get(app).copied().unwrap_or(0) > 0;
-        let on_machine = |app: &AppId| {
-            footprints
-                .get(app)
-                .map(|f| f.contains(&machine))
-                .unwrap_or(false)
-                || leftover_grants
-                    .get(app)
-                    .map(|g| g.on_machine(machine) > 0)
-                    .unwrap_or(false)
-        };
-
-        // Candidate tiers, best first.
-        type Tier<'a> = Box<dyn Fn(&AppId) -> bool + 'a>;
-        let tiers: [Tier<'_>; 4] = [
-            Box::new(|a| !participants.contains(a) && wants(a) && on_machine(a)),
-            Box::new(|a| !participants.contains(a) && wants(a)),
-            Box::new(|a| wants(a) && on_machine(a)),
-            Box::new(|a| wants(a)),
-        ];
-        for tier in &tiers {
-            let mut candidates: Vec<AppId> = remaining_demand
-                .keys()
-                .copied()
-                .filter(|a| tier(a))
-                .collect();
-            if !candidates.is_empty() {
-                candidates.sort();
-                return candidates.choose(&mut self.rng).copied();
+        statuses: &[AppStatus],
+    ) -> Option<(AppId, usize)> {
+        // Candidate tiers, best first: outside the auction + local footprint,
+        // outside, local footprint, anyone with demand.
+        for tier in 0..4u8 {
+            self.scratch.candidates.clear();
+            for &(app, idx) in &self.scratch.order {
+                if self.scratch.demand[idx] == 0 {
+                    continue;
+                }
+                let outside = self.scratch.participants.binary_search(&app).is_err();
+                let on_machine = || {
+                    statuses[idx].footprint.contains(&machine)
+                        || self.scratch.grants[idx].on_machine(machine) > 0
+                };
+                let eligible = match tier {
+                    0 => outside && on_machine(),
+                    1 => outside,
+                    2 => on_machine(),
+                    _ => true,
+                };
+                if eligible {
+                    self.scratch.candidates.push((app, idx));
+                }
+            }
+            if !self.scratch.candidates.is_empty() {
+                return self.scratch.candidates.choose(&mut self.rng).copied();
             }
         }
         None
@@ -372,12 +435,13 @@ mod tests {
         let participants = vec![AppId(0), AppId(1)];
         let bids = vec![scaling_bid(0, 50.0, 0, 3), scaling_bid(1, 40.0, 0, 3)];
         let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        assert_eq!(outcome.total_granted(), offer.total(), "work conserving");
         let mut total = FreeVector::empty();
-        for grant in outcome.all_grants().values() {
-            total = total.add(grant);
+        for grant in outcome.into_all_grants().values() {
+            total.add_assign(grant);
         }
         assert!(offer.contains_vector(&total));
-        assert_eq!(outcome.total_granted(), offer.total(), "work conserving");
+        assert_eq!(total.total(), offer.total());
     }
 
     #[test]

@@ -51,6 +51,7 @@ use themis_protocol::messages::{
 };
 use themis_protocol::transport::{Endpoint, FaultConfig, InMemoryLink, Transport};
 use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::scheduler::{AllocationDecision, Scheduler};
 
 /// Counters describing how the message flow fared across rounds. Purely
@@ -290,7 +291,7 @@ impl Scheduler for DistributedThemisScheduler {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         let offer = cluster.free_vector();
         if offer.is_empty() {
@@ -301,7 +302,7 @@ impl Scheduler for DistributedThemisScheduler {
         self.stats.rounds += 1;
 
         let schedulable: Vec<AppId> = apps
-            .values()
+            .iter()
             .filter(|a| a.is_schedulable(now))
             .map(|a| a.id())
             .collect();
@@ -329,7 +330,7 @@ impl Scheduler for DistributedThemisScheduler {
             if node.crashed_until > round {
                 continue;
             }
-            node.poll(agent_poll, round, &apps[&app], cluster);
+            node.poll(agent_poll, round, &apps[app], cluster);
         }
         for &app in &schedulable {
             for msg in self.links[&app].drain(deadline) {
@@ -349,7 +350,7 @@ impl Scheduler for DistributedThemisScheduler {
         // everyone else is retried next round.
         let mut statuses: Vec<AppStatus> = Vec::new();
         for (&app, &rho) in &rhos {
-            let runtime = &apps[&app];
+            let runtime = &apps[app];
             statuses.push(AppStatus {
                 app,
                 rho,
@@ -377,7 +378,7 @@ impl Scheduler for DistributedThemisScheduler {
             if node.crashed_until > round {
                 continue;
             }
-            node.poll(agent_poll, round, &apps[&app], cluster);
+            node.poll(agent_poll, round, &apps[app], cluster);
         }
         let mut tables: BTreeMap<AppId, BidTable> = BTreeMap::new();
         let mut passed: BTreeSet<AppId> = BTreeSet::new();
@@ -410,14 +411,14 @@ impl Scheduler for DistributedThemisScheduler {
         let outcome = self
             .arbiter
             .run_auction(&offer, &statuses, &participants, &bids);
-        let mut shadow = cluster.clone();
+        let mut shadow = cluster.view();
         let mut decisions = Vec::new();
-        for (app, grant) in outcome.all_grants() {
-            let Some(runtime) = apps.get(&app) else {
+        for (app, grant) in outcome.into_all_grants() {
+            let Some(runtime) = apps.get(app) else {
                 continue;
             };
             let agent = &self.nodes.get(&app).expect("winner has a node").agent;
-            decisions.extend(materialize_grant(agent, now, &mut shadow, runtime, &grant));
+            decisions.extend(materialize_grant(agent, &mut shadow, runtime, &grant));
         }
         let lease_expires_at = now + self.config.lease_duration;
         for decision in &decisions {
@@ -437,7 +438,7 @@ impl Scheduler for DistributedThemisScheduler {
         for &app in &winners {
             let node = self.nodes.get_mut(&app).expect("winner has a node");
             if node.crashed_until <= round {
-                node.poll(deadline, round, &apps[&app], cluster);
+                node.poll(deadline, round, &apps[app], cluster);
             }
             for win in node.delivered_wins.drain(..) {
                 delivered.insert((win.app, win.job));
@@ -459,14 +460,12 @@ mod tests {
     use themis_workload::job::JobSpec;
     use themis_workload::models::ModelArch;
 
-    fn world(napps: u32) -> (Cluster, BTreeMap<AppId, AppRuntime>) {
+    fn world(napps: u32) -> (Cluster, AppArena) {
         let cluster = Cluster::new(ClusterSpec::homogeneous(1, 2, 4));
-        let apps: BTreeMap<AppId, AppRuntime> = (0..napps)
+        let apps: AppArena = (0..napps)
             .map(|i| {
                 let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 400.0, Time::minutes(0.1), 4);
-                let rt =
-                    AppRuntime::with_default_hpo(AppSpec::single_job(AppId(i), Time::ZERO, job));
-                (AppId(i), rt)
+                AppRuntime::with_default_hpo(AppSpec::single_job(AppId(i), Time::ZERO, job))
             })
             .collect();
         (cluster, apps)

@@ -19,8 +19,10 @@ use themis_cluster::alloc::FreeVector;
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, GpuId, JobId};
 use themis_cluster::time::Time;
+use themis_cluster::view::{ClusterState, ClusterView};
 use themis_protocol::bid::BidTable;
 use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::scheduler::{AllocationDecision, Scheduler};
 
 /// The Themis cross-app scheduler.
@@ -66,14 +68,13 @@ impl ThemisScheduler {
 }
 
 /// Converts a per-app grant (per-machine counts) into concrete allocation
-/// decisions, drawing GPUs from `shadow` (which tracks GPUs already
-/// promised this round). Shared by the in-process and distributed-mode
-/// schedulers so their materialization can never diverge — the reliable
-/// `themis-dist` ≡ `themis` equivalence depends on it.
+/// decisions, drawing GPUs from the round's `shadow` view (which tracks
+/// GPUs already promised this round). Shared by the in-process and
+/// distributed-mode schedulers so their materialization can never diverge —
+/// the reliable `themis-dist` ≡ `themis` equivalence depends on it.
 pub(crate) fn materialize_grant(
     agent: &Agent,
-    now: Time,
-    shadow: &mut Cluster,
+    shadow: &mut ClusterView<'_>,
     runtime: &AppRuntime,
     grant: &FreeVector,
 ) -> Vec<AllocationDecision> {
@@ -85,7 +86,7 @@ pub(crate) fn materialize_grant(
         for (machine, count) in share {
             let free = shadow.free_gpus_on(machine);
             for gpu in free.into_iter().take(count) {
-                if shadow.allocate(gpu, app, job, now, Time::INFINITY).is_ok() {
+                if shadow.allocate(gpu, app, job).is_ok() {
                     gpus.push(gpu);
                 }
             }
@@ -106,7 +107,7 @@ impl Scheduler for ThemisScheduler {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         let offer = cluster.free_vector();
         if offer.is_empty() {
@@ -115,7 +116,7 @@ impl Scheduler for ThemisScheduler {
 
         // 1. Probe every schedulable app's Agent for its current ρ.
         let mut statuses: Vec<AppStatus> = Vec::new();
-        for runtime in apps.values().filter(|a| a.is_schedulable(now)) {
+        for runtime in apps.iter().filter(|a| a.is_schedulable(now)) {
             let app = runtime.id();
             let rho = self.agent_for(app).current_rho(now, runtime, cluster).rho;
             statuses.push(AppStatus {
@@ -133,7 +134,7 @@ impl Scheduler for ThemisScheduler {
         let participants = self.arbiter.select_participants(&statuses);
         let mut bids: Vec<BidTable> = Vec::new();
         for app in &participants {
-            let runtime = &apps[app];
+            let runtime = &apps[*app];
             let bid = self
                 .agent_for(*app)
                 .prepare_bid(now, runtime, cluster, &offer);
@@ -147,15 +148,16 @@ impl Scheduler for ThemisScheduler {
             .arbiter
             .run_auction(&offer, &statuses, &participants, &bids);
 
-        // 4. Materialize per-machine grants into concrete GPU decisions.
-        let mut shadow = cluster.clone();
+        // 4. Materialize per-machine grants into concrete GPU decisions,
+        //    against a borrowed per-round view (no cluster clone).
+        let mut shadow = cluster.view();
         let mut decisions = Vec::new();
-        for (app, grant) in outcome.all_grants() {
-            let Some(runtime) = apps.get(&app) else {
+        for (app, grant) in outcome.into_all_grants() {
+            let Some(runtime) = apps.get(app) else {
                 continue;
             };
             let agent = self.agent_for(app);
-            decisions.extend(materialize_grant(agent, now, &mut shadow, runtime, &grant));
+            decisions.extend(materialize_grant(agent, &mut shadow, runtime, &grant));
         }
         decisions
     }

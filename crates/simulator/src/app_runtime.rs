@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, JobId};
 use themis_cluster::time::Time;
+use themis_cluster::view::ClusterState;
 use themis_hpo::api::{AppScheduler, JobEstimate, JobView, SchedulerUpdate};
 use themis_workload::app::AppSpec;
 use themis_workload::job::{JobProgress, JobSpec};
@@ -142,9 +143,11 @@ impl AppRuntime {
             .sum()
     }
 
-    /// GPUs the app still wants beyond what it currently holds.
-    pub fn unmet_demand(&self, cluster: &Cluster) -> usize {
-        let held = cluster.gpus_of_app(self.id()).len();
+    /// GPUs the app still wants beyond what it currently holds. Works
+    /// against the committed [`Cluster`] or a mid-round
+    /// [`themis_cluster::view::ClusterView`] shadow.
+    pub fn unmet_demand<C: ClusterState>(&self, cluster: &C) -> usize {
+        let held = cluster.gpus_held_by(self.id());
         self.total_demand().saturating_sub(held)
     }
 

@@ -1,0 +1,190 @@
+//! The dense app arena.
+//!
+//! The engine used to keep its per-app runtime state in a
+//! `BTreeMap<AppId, AppRuntime>`, paying an ordered-tree walk on every
+//! lookup and every per-round iteration. App ids are dense (trace
+//! generators and builders assign them from zero), so [`AppArena`] stores
+//! runtimes in a flat `Vec<Option<AppRuntime>>` indexed by app id: O(1)
+//! lookup, cache-friendly in-order iteration, and — like the map it
+//! replaces — iteration is always ascending by app id, which the
+//! simulator's determinism guarantees rely on.
+
+use crate::app_runtime::AppRuntime;
+use std::ops::{Index, IndexMut};
+use themis_cluster::ids::AppId;
+
+/// Dense id-indexed storage for every app's runtime state.
+#[derive(Default)]
+pub struct AppArena {
+    slots: Vec<Option<AppRuntime>>,
+    count: usize,
+}
+
+impl std::fmt::Debug for AppArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppArena")
+            .field("apps", &self.count)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl AppArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an arena from pre-built runtimes. A runtime with a duplicate
+    /// app id replaces the earlier one (matching `BTreeMap::insert`).
+    pub fn from_runtimes(runtimes: impl IntoIterator<Item = AppRuntime>) -> Self {
+        let mut arena = AppArena::new();
+        for rt in runtimes {
+            arena.insert(rt);
+        }
+        arena
+    }
+
+    /// Inserts a runtime at its own app id, returning any replaced runtime.
+    pub fn insert(&mut self, rt: AppRuntime) -> Option<AppRuntime> {
+        let idx = rt.id().index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace(rt);
+        if old.is_none() {
+            self.count += 1;
+        }
+        old
+    }
+
+    /// Number of apps in the arena.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if the arena holds no apps.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether an app is present.
+    pub fn contains(&self, app: AppId) -> bool {
+        self.get(app).is_some()
+    }
+
+    /// The runtime for an app, if present.
+    pub fn get(&self, app: AppId) -> Option<&AppRuntime> {
+        self.slots.get(app.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the runtime for an app, if present.
+    pub fn get_mut(&mut self, app: AppId) -> Option<&mut AppRuntime> {
+        self.slots.get_mut(app.index()).and_then(Option::as_mut)
+    }
+
+    /// Iterates over every runtime in ascending app-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AppRuntime> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Mutably iterates over every runtime in ascending app-id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut AppRuntime> {
+        self.slots.iter_mut().filter_map(Option::as_mut)
+    }
+
+    /// Iterates over every app id in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.iter().map(|rt| rt.id())
+    }
+}
+
+impl Index<AppId> for AppArena {
+    type Output = AppRuntime;
+    fn index(&self, app: AppId) -> &AppRuntime {
+        self.get(app)
+            .unwrap_or_else(|| panic!("app {app} not in arena"))
+    }
+}
+
+impl IndexMut<AppId> for AppArena {
+    fn index_mut(&mut self, app: AppId) -> &mut AppRuntime {
+        self.get_mut(app)
+            .unwrap_or_else(|| panic!("app {app} not in arena"))
+    }
+}
+
+impl FromIterator<AppRuntime> for AppArena {
+    fn from_iter<T: IntoIterator<Item = AppRuntime>>(iter: T) -> Self {
+        AppArena::from_runtimes(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AppArena {
+    type Item = &'a AppRuntime;
+    type IntoIter = Box<dyn Iterator<Item = &'a AppRuntime> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_cluster::ids::JobId;
+    use themis_cluster::time::Time;
+    use themis_workload::app::AppSpec;
+    use themis_workload::job::JobSpec;
+    use themis_workload::models::ModelArch;
+
+    fn rt(id: u32) -> AppRuntime {
+        let job = JobSpec::new(JobId(0), ModelArch::ResNet50, 100.0, Time::minutes(0.1), 2);
+        AppRuntime::with_default_hpo(AppSpec::single_job(AppId(id), Time::ZERO, job))
+    }
+
+    #[test]
+    fn insert_get_and_iterate_in_id_order() {
+        let arena = AppArena::from_runtimes([rt(5), rt(0), rt(3)]);
+        assert_eq!(arena.len(), 3);
+        assert!(!arena.is_empty());
+        assert!(arena.contains(AppId(3)));
+        assert!(!arena.contains(AppId(1)));
+        assert_eq!(arena.get(AppId(5)).unwrap().id(), AppId(5));
+        assert!(arena.get(AppId(99)).is_none());
+        let ids: Vec<AppId> = arena.ids().collect();
+        assert_eq!(ids, vec![AppId(0), AppId(3), AppId(5)]);
+        assert_eq!(arena[AppId(0)].id(), AppId(0));
+    }
+
+    #[test]
+    fn duplicate_ids_replace_like_a_map() {
+        let mut arena = AppArena::new();
+        assert!(arena.insert(rt(2)).is_none());
+        let replaced = arena.insert(rt(2)).expect("second insert replaces");
+        assert_eq!(replaced.id(), AppId(2));
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn mutable_iteration_touches_every_app() {
+        let mut arena: AppArena = [rt(0), rt(1)].into_iter().collect();
+        for rt in arena.iter_mut() {
+            rt.attained_service = Time::minutes(7.0);
+        }
+        assert!(arena
+            .iter()
+            .all(|r| r.attained_service == Time::minutes(7.0)));
+        arena[AppId(1)].attained_service = Time::minutes(9.0);
+        assert_eq!(
+            arena.get_mut(AppId(1)).unwrap().attained_service,
+            Time::minutes(9.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not in arena")]
+    fn indexing_a_missing_app_panics() {
+        let arena = AppArena::new();
+        let _ = &arena[AppId(0)];
+    }
+}

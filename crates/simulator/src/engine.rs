@@ -14,6 +14,7 @@
 //! The engine is deterministic: identical inputs produce identical reports.
 
 use crate::app_runtime::AppRuntime;
+use crate::arena::AppArena;
 use crate::events::{EventKind, EventQueue};
 use crate::metrics::SimReport;
 use crate::scheduler::Scheduler;
@@ -99,7 +100,7 @@ impl SimConfig {
 /// The discrete-event simulation engine, generic over the scheduling policy.
 pub struct Engine<S: Scheduler> {
     cluster: Cluster,
-    apps: BTreeMap<AppId, AppRuntime>,
+    apps: AppArena,
     scheduler: S,
     config: SimConfig,
     now: Time,
@@ -135,8 +136,7 @@ impl<S: Scheduler> Engine<S> {
         scheduler: S,
         config: SimConfig,
     ) -> Self {
-        let apps: BTreeMap<AppId, AppRuntime> =
-            runtimes.into_iter().map(|rt| (rt.id(), rt)).collect();
+        let apps = AppArena::from_runtimes(runtimes);
         Engine {
             cluster,
             apps,
@@ -163,16 +163,20 @@ impl<S: Scheduler> Engine<S> {
     }
 
     /// Read access to the app runtimes (useful in tests).
-    pub fn apps(&self) -> &BTreeMap<AppId, AppRuntime> {
+    pub fn apps(&self) -> &AppArena {
         &self.apps
     }
 
     /// Runs the simulation to completion (all apps finished, the event queue
     /// drained, or the time cap reached) and returns the report.
     pub fn run(mut self) -> SimReport {
-        for rt in self.apps.values() {
-            self.events
-                .push(rt.spec.arrival, EventKind::AppArrival(rt.id()));
+        let arrivals: Vec<(Time, AppId)> = self
+            .apps
+            .iter()
+            .map(|rt| (rt.spec.arrival, rt.id()))
+            .collect();
+        for (arrival, app) in arrivals {
+            self.events.push(arrival, EventKind::AppArrival(app));
         }
 
         while let Some(event) = self.events.pop() {
@@ -190,13 +194,13 @@ impl<S: Scheduler> Engine<S> {
             }
             self.advance_to(event.time);
             self.process_round();
-            if self.apps.values().all(|a| a.is_finished()) {
+            if self.apps.iter().all(|a| a.is_finished()) {
                 break;
             }
         }
 
         // Final bookkeeping so completion metrics reflect the end state.
-        for rt in self.apps.values_mut() {
+        for rt in self.apps.iter_mut() {
             rt.try_finish(self.now);
         }
         SimReport::from_apps(
@@ -212,7 +216,7 @@ impl<S: Scheduler> Engine<S> {
     fn advance_to(&mut self, t: Time) {
         let dt = t - self.now;
         if dt > Time::ZERO {
-            for rt in self.apps.values_mut() {
+            for rt in self.apps.iter_mut() {
                 if rt.has_arrived(t) && !rt.is_finished() {
                     // Only advance from the later of `now` and the app's
                     // arrival (an app arriving mid-interval has nothing to
@@ -237,13 +241,14 @@ impl<S: Scheduler> Engine<S> {
         //    not pay the checkpoint penalty.
         let mut held_before: BTreeMap<(AppId, JobId), BTreeSet<themis_cluster::ids::GpuId>> =
             BTreeMap::new();
-        for (app_id, rt) in &self.apps {
+        for rt in self.apps.iter() {
             if !rt.has_arrived(now) {
                 continue;
             }
-            for (job, alloc) in self.cluster.jobs_of_app(*app_id) {
+            let app_id = rt.id();
+            for (job, alloc) in self.cluster.jobs_of_app(app_id) {
                 if !alloc.is_empty() {
-                    held_before.insert((*app_id, job), alloc.iter().collect());
+                    held_before.insert((app_id, job), alloc.iter().collect());
                 }
             }
         }
@@ -251,8 +256,8 @@ impl<S: Scheduler> Engine<S> {
 
         // 2. Release GPUs of finished jobs, run each app's HPO scheduler,
         //    release GPUs of killed jobs, and detect app completion.
-        let app_ids: Vec<AppId> = self.apps.keys().copied().collect();
-        for app_id in &app_ids {
+        let app_ids: Vec<AppId> = self.apps.ids().collect();
+        for app_id in app_ids {
             let arrived = self.apps[app_id].has_arrived(now);
             if !arrived {
                 continue;
@@ -268,19 +273,19 @@ impl<S: Scheduler> Engine<S> {
                     .collect()
             };
             for job in finished_jobs {
-                self.cluster.release_job(*app_id, job);
+                self.cluster.release_job(app_id, job);
             }
             // HPO decisions (kills, priority changes).
             if !self.apps[app_id].is_finished() {
                 let killed = self.apps.get_mut(app_id).expect("app exists").run_hpo(now);
                 for job in killed {
-                    self.cluster.release_job(*app_id, job);
+                    self.cluster.release_job(app_id, job);
                 }
             }
             let rt = self.apps.get_mut(app_id).expect("app exists");
             if rt.try_finish(now) {
                 // Defensive: an app that finished must hold no GPUs.
-                self.cluster.release_app(*app_id);
+                self.cluster.release_app(app_id);
                 rt.record_gpu_count(now, 0);
             }
         }
@@ -288,7 +293,7 @@ impl<S: Scheduler> Engine<S> {
         // 3. Track contention.
         let demand: usize = self
             .apps
-            .values()
+            .iter()
             .filter(|a| a.is_schedulable(now))
             .map(|a| a.total_demand())
             .sum();
@@ -304,7 +309,7 @@ impl<S: Scheduler> Engine<S> {
         let mut changed_jobs: BTreeSet<(AppId, JobId)> = BTreeSet::new();
         let mut new_leases = false;
         for decision in decisions {
-            let Some(rt) = self.apps.get(&decision.app) else {
+            let Some(rt) = self.apps.get(decision.app) else {
                 continue;
             };
             if !rt.is_schedulable(now) {
@@ -335,7 +340,7 @@ impl<S: Scheduler> Engine<S> {
             let new_set: BTreeSet<_> = self.cluster.gpus_of_job(*app_id, *job_id).iter().collect();
             let old_set = held_before.get(&(*app_id, *job_id));
             let is_renewal = old_set.map(|s| *s == new_set).unwrap_or(false);
-            let rt = self.apps.get_mut(app_id).expect("app exists");
+            let rt = self.apps.get_mut(*app_id).expect("app exists");
             let had_progress = rt.progress[job_id].iterations_done > 0.0;
             if !is_renewal && had_progress && self.config.checkpoint_overhead > Time::ZERO {
                 rt.restart_until
@@ -344,9 +349,9 @@ impl<S: Scheduler> Engine<S> {
         }
 
         // 5. Record timelines and enqueue follow-up events.
-        for (app_id, rt) in self.apps.iter_mut() {
+        for rt in self.apps.iter_mut() {
             if rt.has_arrived(now) {
-                let held = self.cluster.gpus_of_app(*app_id).len();
+                let held = self.cluster.gpus_held_by(rt.id());
                 rt.record_gpu_count(now, held);
             }
         }
@@ -358,10 +363,10 @@ impl<S: Scheduler> Engine<S> {
             // both exist is (for a message-driven scheduler) a round lost to
             // transport faults: re-attempt it after a backoff instead of
             // letting the event queue drain with apps stranded.
-            let starved = !self.cluster.free_gpus().is_empty()
+            let starved = self.cluster.free_gpu_count() > 0
                 && self
                     .apps
-                    .values()
+                    .iter()
                     .any(|a| a.is_schedulable(now) && a.unmet_demand(&self.cluster) > 0);
             if starved && !self.retry_pending {
                 let backoff = base * f64::from(1u32 << self.idle_retries.min(16));
@@ -374,23 +379,24 @@ impl<S: Scheduler> Engine<S> {
         // GPUs. Projections are deduplicated: a new event is only pushed
         // when the projection differs from the last one we enqueued, so the
         // queue stays linear in the number of real state changes.
-        for (app_id, rt) in &self.apps {
+        for rt in self.apps.iter() {
             if !rt.is_schedulable(now) {
                 continue;
             }
-            let by_job = self.cluster.jobs_of_app(*app_id);
+            let app_id = rt.id();
+            let by_job = self.cluster.jobs_of_app(app_id);
             for job_spec in &rt.spec.jobs {
                 let progress = &rt.progress[&job_spec.id];
                 if progress.is_finished(job_spec) {
-                    self.scheduled_finish.remove(&(*app_id, job_spec.id));
+                    self.scheduled_finish.remove(&(app_id, job_spec.id));
                     continue;
                 }
                 let Some(alloc) = by_job.get(&job_spec.id) else {
-                    self.scheduled_finish.remove(&(*app_id, job_spec.id));
+                    self.scheduled_finish.remove(&(app_id, job_spec.id));
                     continue;
                 };
                 if alloc.is_empty() {
-                    self.scheduled_finish.remove(&(*app_id, job_spec.id));
+                    self.scheduled_finish.remove(&(app_id, job_spec.id));
                     continue;
                 }
                 let locality = themis_cluster::placement::spread(alloc, self.cluster.spec());
@@ -404,7 +410,7 @@ impl<S: Scheduler> Engine<S> {
                     continue;
                 }
                 let finish = now + eta;
-                let key = (*app_id, job_spec.id);
+                let key = (app_id, job_spec.id);
                 let already = self.scheduled_finish.get(&key).copied();
                 let needs_push = match already {
                     // Re-push when the projection moved by more than a
@@ -433,7 +439,7 @@ mod tests {
 
     /// A simple work-conserving FIFO policy used to exercise the engine: it
     /// walks schedulable apps in arrival order and packs free GPUs onto
-    /// their jobs.
+    /// their jobs through a borrowed `ClusterView` (no per-round clone).
     struct FifoScheduler;
 
     impl Scheduler for FifoScheduler {
@@ -445,12 +451,13 @@ mod tests {
             &mut self,
             now: Time,
             cluster: &Cluster,
-            apps: &BTreeMap<AppId, AppRuntime>,
+            apps: &AppArena,
         ) -> Vec<AllocationDecision> {
-            let mut cluster = cluster.clone();
+            use themis_cluster::view::ClusterState;
+            let mut shadow = cluster.view();
             let mut out = Vec::new();
             let mut order: Vec<&AppRuntime> =
-                apps.values().filter(|a| a.is_schedulable(now)).collect();
+                apps.iter().filter(|a| a.is_schedulable(now)).collect();
             order.sort_by(|a, b| {
                 a.spec
                     .arrival
@@ -458,18 +465,16 @@ mod tests {
                     .then(a.id().cmp(&b.id()))
             });
             for app in order {
-                let want = app.unmet_demand(&cluster);
+                let want = app.unmet_demand(&shadow);
                 if want == 0 {
                     continue;
                 }
-                let budget = want.min(cluster.free_gpus().len());
-                for (job, count) in split_among_jobs(app, &cluster, budget) {
-                    let prefer = cluster.gpus_of_job(app.id(), job).machines(cluster.spec());
-                    let gpus = pick_gpus_packed(&cluster, count, &prefer);
+                let budget = want.min(shadow.free_gpu_count());
+                for (job, count) in split_among_jobs(app, &shadow, budget) {
+                    let prefer = shadow.gpus_of_job(app.id(), job).machines(shadow.spec());
+                    let gpus = pick_gpus_packed(&shadow, count, &prefer);
                     for gpu in &gpus {
-                        cluster
-                            .allocate(*gpu, app.id(), job, now, Time::INFINITY)
-                            .expect("gpu was free");
+                        shadow.allocate(*gpu, app.id(), job).expect("gpu was free");
                     }
                     if !gpus.is_empty() {
                         out.push(AllocationDecision {
@@ -600,7 +605,7 @@ mod tests {
             &mut self,
             _now: Time,
             _cluster: &Cluster,
-            _apps: &BTreeMap<AppId, AppRuntime>,
+            _apps: &AppArena,
         ) -> Vec<AllocationDecision> {
             Vec::new()
         }

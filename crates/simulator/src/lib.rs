@@ -11,6 +11,8 @@
 //!   expiries, projected job completions),
 //! * [`app_runtime`] — the mutable per-app state (job progress, the app's
 //!   own hyper-parameter scheduler, attained service, placement samples),
+//! * [`arena`] — the dense app-id-indexed [`arena::AppArena`] the engine
+//!   stores those runtimes in (and hands to every scheduler),
 //! * [`scheduler`] — the [`scheduler::Scheduler`] trait every policy
 //!   (Themis and the baselines) implements, plus shared placement helpers,
 //! * [`engine`] — the simulation loop itself,
@@ -28,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod app_runtime;
+pub mod arena;
 pub mod batch;
 pub mod engine;
 pub mod events;
@@ -37,6 +40,7 @@ pub mod scheduler;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::app_runtime::AppRuntime;
+    pub use crate::arena::AppArena;
     pub use crate::batch::run_batch;
     pub use crate::engine::{Engine, SimConfig};
     pub use crate::metrics::{AppOutcome, SimReport};

@@ -11,9 +11,8 @@
 //!
 //! [`SimReport`] gathers all of these from the engine's final state.
 
-use crate::app_runtime::AppRuntime;
+use crate::arena::AppArena;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use themis_cluster::ids::AppId;
 use themis_cluster::time::Time;
 
@@ -64,13 +63,13 @@ impl SimReport {
     /// Builds a report from the engine's final app states.
     pub fn from_apps(
         scheduler: &str,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
         end_time: Time,
         peak_contention: f64,
         scheduling_rounds: u64,
     ) -> Self {
         let outcomes: Vec<AppOutcome> = apps
-            .values()
+            .iter()
             .map(|rt| AppOutcome {
                 app: rt.id(),
                 arrival: rt.spec.arrival,

@@ -3,14 +3,21 @@
 //! Every policy evaluated in the paper — Themis itself (`themis-core`) and
 //! the Gandiva / Tiresias / SLAQ / DRF baselines (`themis-baselines`) —
 //! implements [`Scheduler`]: at every scheduling event the engine hands the
-//! policy the current cluster state and app runtimes, and the policy returns
-//! concrete GPU-to-job assignments for (a subset of) the free GPUs.
+//! policy the current cluster state and the dense app arena, and the policy
+//! returns concrete GPU-to-job assignments for (a subset of) the free GPUs.
+//!
+//! The placement helpers are generic over
+//! [`ClusterState`], so policies call them against a borrowed
+//! [`themis_cluster::view::ClusterView`] shadow instead of cloning the
+//! cluster per round.
 
 use crate::app_runtime::AppRuntime;
+use crate::arena::AppArena;
 use std::collections::{BTreeMap, BTreeSet};
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, GpuId, JobId, MachineId};
 use themis_cluster::time::Time;
+use themis_cluster::view::ClusterState;
 
 /// One allocation decision: grant these GPUs to this job of this app for the
 /// next lease period.
@@ -37,7 +44,7 @@ pub trait Scheduler {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision>;
 }
 
@@ -50,7 +57,7 @@ impl Scheduler for Box<dyn Scheduler> {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         (**self).schedule(now, cluster, apps)
     }
@@ -66,8 +73,8 @@ impl Scheduler for Box<dyn Scheduler> {
 ///
 /// Returns fewer than `count` GPUs only if the cluster does not have enough
 /// free GPUs in total.
-pub fn pick_gpus_packed(
-    cluster: &Cluster,
+pub fn pick_gpus_packed<C: ClusterState>(
+    cluster: &C,
     count: usize,
     prefer_machines: &BTreeSet<MachineId>,
 ) -> Vec<GpuId> {
@@ -150,7 +157,11 @@ pub fn pick_gpus_packed(
 /// identified), so the budget is handed out to jobs in order of *least work
 /// left* first, each receiving up to its remaining unmet parallelism.
 /// Returns `(job, gpu_count)` pairs with positive counts.
-pub fn split_among_jobs(app: &AppRuntime, cluster: &Cluster, budget: usize) -> Vec<(JobId, usize)> {
+pub fn split_among_jobs<C: ClusterState>(
+    app: &AppRuntime,
+    cluster: &C,
+    budget: usize,
+) -> Vec<(JobId, usize)> {
     // Active jobs ordered by the work they still have to do (ascending).
     let mut order: Vec<JobId> = app.active_jobs();
     order.sort_by(|a, b| {
@@ -245,6 +256,22 @@ mod tests {
         let gpus = pick_gpus_packed(&c, 8, &BTreeSet::new());
         assert_eq!(gpus.len(), 3);
         assert!(pick_gpus_packed(&c, 0, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn packed_pick_sees_view_overlays() {
+        let c = cluster();
+        let mut view = c.view();
+        // Tentatively fill machine 0 through the view; the next packed pick
+        // must avoid it.
+        for gpu in view.free_gpus_on(MachineId(0)) {
+            view.allocate(gpu, AppId(9), JobId(0)).unwrap();
+        }
+        let gpus = pick_gpus_packed(&view, 4, &BTreeSet::new());
+        assert_eq!(gpus.len(), 4);
+        assert!(gpus
+            .iter()
+            .all(|g| c.spec().machine_of(*g) != Some(MachineId(0))));
     }
 
     fn app_with_jobs(pars: &[usize]) -> AppRuntime {

@@ -1,0 +1,211 @@
+//! Property tests: the dense allocation structures agree with the ordered
+//! reference model they replaced.
+//!
+//! The PR that introduced the dense scheduler core swapped `GpuAlloc` from
+//! a `BTreeSet<GpuId>` to a sorted vector and `FreeVector` from a
+//! `BTreeMap<MachineId, usize>` to a machine-indexed count vector, with the
+//! explicit contract that every observable behavior — membership, counts,
+//! iteration order, set algebra — is unchanged. These tests drive both
+//! representations through randomized operation sequences against the old
+//! ordered-tree types as the model, so any divergence (a broken merge, a
+//! stale cached total, a trailing-zero equality bug) fails here before it
+//! can perturb a scheduling decision.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use themis_cluster::alloc::{FreeVector, GpuAlloc};
+use themis_cluster::ids::{GpuId, MachineId};
+use themis_cluster::topology::ClusterSpec;
+
+/// The shared test topology: 3 racks × 4 machines × 4 GPUs = 48 GPUs,
+/// so random ids in `0..64` also exercise unknown-GPU handling.
+fn spec() -> ClusterSpec {
+    ClusterSpec::homogeneous(3, 4, 4)
+}
+
+fn model_per_machine(model: &BTreeSet<u32>, spec: &ClusterSpec) -> BTreeMap<MachineId, usize> {
+    let mut counts = BTreeMap::new();
+    for gpu in model {
+        if let Some(machine) = spec.machine_of(GpuId(*gpu)) {
+            *counts.entry(machine).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Checks every observable of a `GpuAlloc` against the `BTreeSet` model.
+fn assert_alloc_matches(alloc: &GpuAlloc, model: &BTreeSet<u32>, spec: &ClusterSpec) {
+    assert_eq!(alloc.len(), model.len());
+    assert_eq!(alloc.is_empty(), model.is_empty());
+    let dense: Vec<u32> = alloc.iter().map(|g| g.0).collect();
+    let reference: Vec<u32> = model.iter().copied().collect();
+    assert_eq!(dense, reference, "iteration order must match the BTreeSet");
+    assert_eq!(alloc.per_machine(spec), model_per_machine(model, spec));
+    let machines: BTreeSet<MachineId> = model
+        .iter()
+        .filter_map(|g| spec.machine_of(GpuId(*g)))
+        .collect();
+    assert_eq!(alloc.machines(spec), machines);
+    for gpu in 0..70u32 {
+        assert_eq!(alloc.contains(GpuId(gpu)), model.contains(&gpu));
+    }
+}
+
+/// Checks every observable of a `FreeVector` against the `BTreeMap` model.
+fn assert_vector_matches(vector: &FreeVector, model: &BTreeMap<u32, usize>) {
+    let model_nonzero: Vec<(MachineId, usize)> = model
+        .iter()
+        .filter(|(_, c)| **c > 0)
+        .map(|(m, c)| (MachineId(*m), *c))
+        .collect();
+    assert_eq!(vector.total(), model.values().sum::<usize>());
+    assert_eq!(vector.is_empty(), vector.total() == 0);
+    assert_eq!(
+        vector.iter().collect::<Vec<_>>(),
+        model_nonzero,
+        "iteration order must match the BTreeMap"
+    );
+    assert_eq!(
+        vector.machines().collect::<Vec<_>>(),
+        model_nonzero.iter().map(|(m, _)| *m).collect::<Vec<_>>()
+    );
+    for machine in 0..40u32 {
+        assert_eq!(
+            vector.on_machine(MachineId(machine)),
+            model.get(&machine).copied().unwrap_or(0),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized insert/remove sequences keep the dense `GpuAlloc` in
+    /// lock-step with a `BTreeSet` model, and the set algebra (union,
+    /// difference, intersection, disjointness) agrees on every prefix.
+    #[test]
+    fn gpu_alloc_agrees_with_btree_set_model(
+        ops in prop::collection::vec((0u8..2, 0u32..64), 0..120),
+        other in prop::collection::vec(0u32..64, 0..40),
+    ) {
+        let spec = spec();
+        let mut alloc = GpuAlloc::empty();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (op, gpu) in ops {
+            match op {
+                0 => prop_assert_eq!(alloc.insert(GpuId(gpu)), model.insert(gpu)),
+                _ => prop_assert_eq!(alloc.remove(GpuId(gpu)), model.remove(&gpu)),
+            }
+            assert_alloc_matches(&alloc, &model, &spec);
+        }
+
+        // Set algebra against a second randomized set.
+        let other_alloc = GpuAlloc::from_gpus(other.iter().map(|g| GpuId(*g)));
+        let other_model: BTreeSet<u32> = other.into_iter().collect();
+        assert_alloc_matches(
+            &alloc.union(&other_alloc),
+            &model.union(&other_model).copied().collect(),
+            &spec,
+        );
+        assert_alloc_matches(
+            &alloc.difference(&other_alloc),
+            &model.difference(&other_model).copied().collect(),
+            &spec,
+        );
+        assert_alloc_matches(
+            &alloc.intersection(&other_alloc),
+            &model.intersection(&other_model).copied().collect(),
+            &spec,
+        );
+        prop_assert_eq!(
+            alloc.is_disjoint(&other_alloc),
+            model.is_disjoint(&other_model)
+        );
+        // Round-trip through the constructor preserves equality.
+        prop_assert_eq!(&GpuAlloc::from_gpus(alloc.iter()), &alloc);
+    }
+
+    /// Randomized set/add/saturating-sub/scale sequences keep the dense
+    /// `FreeVector` in lock-step with a `BTreeMap` model, including the
+    /// "machines with zero count are omitted" equality semantics.
+    #[test]
+    fn free_vector_agrees_with_btree_map_model(
+        ops in prop::collection::vec((0u8..4, 0u32..24, 0usize..6), 0..80),
+    ) {
+        let mut vector = FreeVector::empty();
+        let mut model: BTreeMap<u32, usize> = BTreeMap::new();
+        for (op, machine, count) in ops {
+            let m = MachineId(machine);
+            match op {
+                0 => {
+                    vector.set(m, count);
+                    if count == 0 {
+                        model.remove(&machine);
+                    } else {
+                        model.insert(machine, count);
+                    }
+                }
+                1 => {
+                    let delta = FreeVector::from_counts([(m, count)]);
+                    vector = vector.add(&delta);
+                    if count > 0 {
+                        *model.entry(machine).or_insert(0) += count;
+                    }
+                }
+                2 => {
+                    let delta = FreeVector::from_counts([(m, count)]);
+                    vector = vector.saturating_sub(&delta);
+                    if count > 0 {
+                        if let Some(current) = model.get_mut(&machine) {
+                            *current = current.saturating_sub(count);
+                            if *current == 0 {
+                                model.remove(&machine);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    vector = vector.scale_floor(0.5);
+                    model = model
+                        .iter()
+                        .map(|(m, c)| (*m, c / 2))
+                        .filter(|(_, c)| *c > 0)
+                        .collect();
+                }
+            }
+            assert_vector_matches(&vector, &model);
+        }
+
+        // Equality matches the sparse model's: rebuilding from the nonzero
+        // pairs yields an equal vector regardless of mutation history.
+        let rebuilt = FreeVector::from_counts(vector.iter());
+        prop_assert_eq!(&rebuilt, &vector);
+        // contains_vector agrees with a per-machine comparison.
+        prop_assert!(vector.contains_vector(&rebuilt));
+        prop_assert!(vector.contains_vector(&vector.scale_floor(0.5)));
+    }
+
+    /// `FreeVector::from_gpus` matches the per-machine counts of the
+    /// deduplicated GPU set (duplicates count once), and `add_assign`
+    /// matches `add`.
+    #[test]
+    fn free_vector_from_gpus_and_add_assign(
+        gpus in prop::collection::vec(0u32..48, 0..48),
+        extra in prop::collection::vec((0u32..24, 1usize..5), 0..12),
+    ) {
+        let spec = spec();
+        let vector = FreeVector::from_gpus(gpus.iter().map(|g| GpuId(*g)), &spec);
+        let dedup: BTreeSet<u32> = gpus.into_iter().collect();
+        let alloc = GpuAlloc::from_gpus(dedup.iter().map(|g| GpuId(*g)));
+        let per_machine = alloc.per_machine(&spec);
+        prop_assert_eq!(vector.total(), per_machine.values().sum::<usize>());
+        for (machine, count) in per_machine {
+            prop_assert_eq!(vector.on_machine(machine), count);
+        }
+
+        let delta = FreeVector::from_counts(extra.iter().map(|(m, c)| (MachineId(*m), *c)));
+        let mut in_place = vector.clone();
+        in_place.add_assign(&delta);
+        prop_assert_eq!(in_place, vector.add(&delta));
+    }
+}

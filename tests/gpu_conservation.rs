@@ -14,14 +14,14 @@
 //! leak or double-lease a GPU.
 
 use proptest::prelude::*;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use themis_bench::policies::Policy;
 use themis_bench::scenarios::{ClusterKind, Matrix, Scenario};
 use themis_cluster::cluster::Cluster;
-use themis_cluster::ids::{AppId, GpuId};
+use themis_cluster::ids::GpuId;
 use themis_cluster::time::Time;
 use themis_protocol::transport::FaultConfig;
-use themis_sim::app_runtime::AppRuntime;
+use themis_sim::arena::AppArena;
 use themis_sim::engine::Engine;
 use themis_sim::scheduler::{AllocationDecision, Scheduler};
 
@@ -40,7 +40,7 @@ impl Scheduler for ConservationGuard {
         &mut self,
         now: Time,
         cluster: &Cluster,
-        apps: &BTreeMap<AppId, AppRuntime>,
+        apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         let decisions = self.inner.schedule(now, cluster, apps);
         let free: BTreeSet<GpuId> = cluster.free_gpus().into_iter().collect();

@@ -44,6 +44,14 @@ fn parallel_smoke_sweep_is_byte_identical_to_serial() {
          regenerate it (see README 'Running scenario sweeps'):\n{}",
         diffs.join("\n")
     );
+    // Stronger than the metric diff: the canonical rendering must be
+    // *byte-identical* to the committed file. The dense-core refactor is
+    // observationally pure — every iteration order stays ascending-by-id —
+    // and this pin is what holds that contract for future refactors.
+    assert_eq!(
+        serial_text, baseline_text,
+        "smoke sweep canonical JSON is not byte-identical to BENCH_BASELINE.json"
+    );
     // The committed baseline must itself be canonical (regenerated via
     // `sweep --out`, not hand-edited).
     assert_eq!(

@@ -79,6 +79,21 @@ impl Bencher {
     }
 }
 
+/// Formats a per-iteration duration as an integer nanosecond count with
+/// thousands separators, e.g. `1,234,567 ns/iter`.
+fn format_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    let digits = ns.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
 fn report(group: &str, id: &str, samples: &mut [Duration]) {
     if samples.is_empty() {
         return;
@@ -86,7 +101,12 @@ fn report(group: &str, id: &str, samples: &mut [Duration]) {
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
     let p95 = samples[(samples.len() * 95 / 100).min(samples.len() - 1)];
-    println!("bench: {group}/{id}: median {median:?}, p95 {p95:?}");
+    println!(
+        "bench: {group}/{id}: {} ns/iter (median of {} batches; p95 {} ns/iter)",
+        format_ns(median),
+        samples.len(),
+        format_ns(p95),
+    );
 }
 
 /// A named collection of related benchmarks.
