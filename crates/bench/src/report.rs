@@ -10,15 +10,17 @@
 //! [`SweepReport::to_json`]`(true)` or the `sweep --timings` flag.
 
 use crate::json::Json;
-use crate::scenarios::{ClusterKind, Scenario};
+use crate::scenarios::{ClusterKind, GenMix, Scenario};
 use themis_cluster::time::Time;
 use themis_protocol::transport::FaultConfig;
 use themis_sim::metrics::SimReport;
 
 /// Version stamp of the JSON schema, bumped on incompatible change so a
 /// stale baseline fails loudly instead of diffing nonsense.
-/// v2 added the scenario's transport-fault axis (`fault_*` fields).
-pub const SCHEMA_VERSION: f64 = 2.0;
+/// v2 added the scenario's transport-fault axis (`fault_*` fields); v3
+/// added the GPU-generation heterogeneity axis (`gen_mix` plus the derived
+/// per-cell `speed_*` metadata).
+pub const SCHEMA_VERSION: f64 = 3.0;
 
 /// The metrics extracted from one simulation run (the paper's §8.1 set).
 #[derive(Debug, Clone, PartialEq)]
@@ -151,8 +153,24 @@ pub struct CellReport {
 
 impl CellReport {
     fn scenario_json(scenario: &Scenario) -> Json {
+        // Per-cell speed metadata, derived from the built topology: the
+        // aggregate/extreme GPU speeds the cell ran with. Write-only —
+        // `scenario_from_json` recomputes them from `gen_mix`, so they can
+        // never drift from the axis value they describe.
+        let spec = scenario.cluster_spec();
+        let speeds: Vec<f64> = spec
+            .machines()
+            .iter()
+            .map(themis_cluster::topology::MachineSpec::speed)
+            .collect();
+        let speed_min = speeds.iter().copied().fold(f64::INFINITY, f64::min);
+        let speed_max = speeds.iter().copied().fold(0.0, f64::max);
         Json::Obj(vec![
             ("cluster".into(), Json::str(scenario.cluster.name())),
+            ("gen_mix".into(), Json::str(scenario.gen_mix.name())),
+            ("speed_total".into(), Json::num(spec.total_speed())),
+            ("speed_min".into(), Json::num(speed_min)),
+            ("speed_max".into(), Json::num(speed_max)),
             ("apps".into(), Json::num(scenario.apps as f64)),
             ("contention".into(), Json::num(scenario.contention)),
             (
@@ -205,8 +223,15 @@ impl CellReport {
             .ok_or("scenario missing 'cluster'")?;
         let cluster = ClusterKind::parse(cluster_name)
             .ok_or_else(|| format!("unknown cluster kind '{cluster_name}'"))?;
+        let mix_name = value
+            .get("gen_mix")
+            .and_then(Json::as_str)
+            .ok_or("scenario missing 'gen_mix'")?;
+        let gen_mix = GenMix::parse(mix_name)
+            .ok_or_else(|| format!("unknown generation mix '{mix_name}'"))?;
         Ok(Scenario {
             cluster,
+            gen_mix,
             apps: req("apps")? as usize,
             contention: req("contention")?,
             network_fraction: req("network_fraction")?,
@@ -467,6 +492,31 @@ mod tests {
     }
 
     #[test]
+    fn hetero_cells_carry_speed_metadata_and_round_trip() {
+        use crate::scenarios::GenMix;
+        let mut report = sample_report();
+        report.cells[0].scenario = report.cells[0]
+            .scenario
+            .clone()
+            .with_gen_mix(GenMix::TwoGen);
+        report.cells[0].id = format!("{}/themis", report.cells[0].scenario.id());
+        let text = report.to_canonical_string();
+        assert!(text.contains("\"gen_mix\": \"2gen\""));
+        // Rack16 under TwoGen: machines 0/2 Volta (2.0), 1/3 Pascal (1.0).
+        assert!(text.contains("\"speed_total\": 24"));
+        assert!(text.contains("\"speed_min\": 1"));
+        assert!(text.contains("\"speed_max\": 2"));
+        let back = SweepReport::parse_str(&text).expect("hetero cell parses");
+        assert_eq!(back.cells[0].scenario, report.cells[0].scenario);
+        assert_eq!(back.to_canonical_string(), text, "canonical fixed point");
+        // A baseline with an unknown mix fails loudly.
+        let bad = text.replace("\"gen_mix\": \"2gen\"", "\"gen_mix\": \"9gen\"");
+        assert!(SweepReport::parse_str(&bad)
+            .expect_err("unknown mix rejected")
+            .contains("generation mix"));
+    }
+
+    #[test]
     fn comparison_passes_on_identical_reports() {
         let report = sample_report();
         assert!(compare_reports(&report, &report, 1e-9).is_empty());
@@ -511,7 +561,7 @@ mod tests {
     fn schema_version_mismatch_is_rejected() {
         let text = sample_report()
             .to_canonical_string()
-            .replace("\"schema_version\": 2", "\"schema_version\": 99");
+            .replace("\"schema_version\": 3", "\"schema_version\": 99");
         let err = SweepReport::parse_str(&text).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }

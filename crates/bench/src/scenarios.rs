@@ -21,13 +21,73 @@
 use crate::policies::Policy;
 use themis_cluster::cluster::Cluster;
 use themis_cluster::time::Time;
-use themis_cluster::topology::ClusterSpec;
+use themis_cluster::topology::{ClusterSpec, GpuGeneration};
 use themis_core::config::ThemisConfig;
 use themis_protocol::transport::FaultConfig;
 use themis_sim::engine::{Engine, SimConfig};
 use themis_sim::metrics::SimReport;
 use themis_workload::app::AppSpec;
 use themis_workload::trace::{TraceConfig, TraceGenerator};
+
+/// The GPU-generation mix of a scenario's cluster: which speed classes the
+/// machines cycle through (see [`ClusterSpec::with_generation_cycle`]).
+///
+/// This is the heterogeneity axis of the scenario matrix. [`GenMix::Uniform`]
+/// reproduces the paper's identical-GPU fleet exactly (every machine at the
+/// reference speed 1.0), so uniform cells are byte-identical to the
+/// pre-heterogeneity sweep; the mixed values open the axis the paper's §8
+/// leaves closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GenMix {
+    /// Every machine at the reference generation (speed 1.0) — the paper's
+    /// uniform fleet.
+    #[default]
+    Uniform,
+    /// Two generations at a 2:1 speed ratio, alternating per machine
+    /// (Volta 2.0 / Pascal 1.0).
+    TwoGen,
+    /// Three generations at 4:2:1 speeds cycling per machine
+    /// (Volta 2.0 / Pascal 1.0 / Kepler 0.5).
+    ThreeGen,
+}
+
+impl GenMix {
+    /// Every mix, uniform first.
+    pub const ALL: [GenMix; 3] = [GenMix::Uniform, GenMix::TwoGen, GenMix::ThreeGen];
+
+    /// Stable identifier used in scenario ids and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GenMix::Uniform => "uni",
+            GenMix::TwoGen => "2gen",
+            GenMix::ThreeGen => "3gen",
+        }
+    }
+
+    /// Parses the identifier produced by [`GenMix::name`].
+    pub fn parse(name: &str) -> Option<GenMix> {
+        GenMix::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// The machine-generation cycle this mix assigns round-robin.
+    pub fn cycle(&self) -> &'static [GpuGeneration] {
+        match self {
+            GenMix::Uniform => &[GpuGeneration::Pascal],
+            GenMix::TwoGen => &[GpuGeneration::Volta, GpuGeneration::Pascal],
+            GenMix::ThreeGen => &[
+                GpuGeneration::Volta,
+                GpuGeneration::Pascal,
+                GpuGeneration::Kepler,
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for GenMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// The cluster shapes scenarios can run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,10 +166,29 @@ impl ClusterKind {
 /// Two scenarios with equal fields produce byte-identical traces and — for
 /// a fixed policy — byte-identical [`SimReport`]s; that determinism is what
 /// the sweep baseline in CI leans on.
+///
+/// ```
+/// use themis_bench::policies::Policy;
+/// use themis_bench::scenarios::{ClusterKind, GenMix, Scenario};
+///
+/// // A contended 16-GPU cell on a two-generation cluster, run end to end.
+/// let scenario = Scenario::new(ClusterKind::Rack16, 3, 42)
+///     .with_contention(2.0)
+///     .with_gen_mix(GenMix::TwoGen);
+/// assert_eq!(scenario.cluster_spec().total_gpus(), 16);
+/// assert!(!scenario.cluster_spec().is_unit_speed());
+///
+/// let report = scenario.run(Policy::themis_default());
+/// assert_eq!(report.finished_apps(), 3);
+/// // Same axes ⇒ byte-identical report (the CI determinism contract).
+/// assert_eq!(report, scenario.run(Policy::themis_default()));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Cluster shape.
     pub cluster: ClusterKind,
+    /// GPU-generation mix applied to the cluster (the heterogeneity axis).
+    pub gen_mix: GenMix,
     /// Number of apps in the generated trace.
     pub apps: usize,
     /// Contention factor: arrival rate multiplier (§8.4.2; 2.0 halves the
@@ -149,6 +228,7 @@ impl Scenario {
     pub fn new(cluster: ClusterKind, apps: usize, seed: u64) -> Scenario {
         Scenario {
             cluster,
+            gen_mix: GenMix::Uniform,
             apps,
             contention: 1.0,
             network_fraction: 0.4,
@@ -217,14 +297,33 @@ impl Scenario {
         self
     }
 
+    /// Sets the GPU-generation mix of the cluster.
+    pub fn with_gen_mix(mut self, gen_mix: GenMix) -> Scenario {
+        self.gen_mix = gen_mix;
+        self
+    }
+
+    /// The concrete cluster topology this scenario runs on: the cluster
+    /// kind's base spec with the generation mix applied. [`GenMix::Uniform`]
+    /// yields the base spec unchanged (every constructor already builds
+    /// reference-generation machines), preserving speed-1.0 purity.
+    pub fn cluster_spec(&self) -> ClusterSpec {
+        match self.gen_mix {
+            GenMix::Uniform => self.cluster.spec(),
+            mix => self.cluster.spec().with_generation_cycle(mix.cycle()),
+        }
+    }
+
     /// A compact, stable identifier encoding every axis value, e.g.
-    /// `testbed50-a8-x2-n0.4-f0.8-l20-e0-b0-h0-d0-y0-c0x0-q0-s42` (`d` is
-    /// the drop probability, `y` the delivery delay in minutes, `c` the
-    /// crash period × duration, `q` the fault RNG seed).
+    /// `testbed50-guni-a8-x2-n0.4-f0.8-l20-e0-b0-h0-d0-y0-c0x0-q0-s42`
+    /// (`g` is the generation mix, `d` the drop probability, `y` the
+    /// delivery delay in minutes, `c` the crash period × duration, `q` the
+    /// fault RNG seed).
     pub fn id(&self) -> String {
         format!(
-            "{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-q{}-s{}",
+            "{}-g{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-q{}-s{}",
             self.cluster.name(),
+            self.gen_mix.name(),
             self.apps,
             self.contention,
             self.network_fraction,
@@ -310,7 +409,7 @@ impl Scenario {
     /// scenario generate the trace once and clone it, instead of
     /// regenerating it per policy.
     pub fn run_on_trace(&self, policy: Policy, trace: Vec<AppSpec>) -> SimReport {
-        let cluster = Cluster::new(self.cluster.spec());
+        let cluster = Cluster::new(self.cluster_spec());
         let config = self.sim_config();
         Engine::new(
             cluster,
@@ -335,6 +434,9 @@ pub struct Matrix {
     pub name: String,
     /// Cluster axis.
     pub clusters: Vec<ClusterKind>,
+    /// GPU-generation-mix axis (every policy is speed-aware, so — unlike
+    /// the Themis-only knobs — no cell is deduped along it).
+    pub gen_mix: Vec<GenMix>,
     /// Trace-size axis (number of apps).
     pub apps: Vec<usize>,
     /// Contention-factor axis.
@@ -366,6 +468,7 @@ impl Matrix {
         Matrix {
             name: name.to_string(),
             clusters: vec![cluster],
+            gen_mix: vec![GenMix::Uniform],
             apps: vec![apps],
             contention: vec![1.0],
             network_fraction: vec![0.4],
@@ -473,8 +576,32 @@ impl Matrix {
         }
     }
 
+    /// The heterogeneity matrix: the full generation-mix axis (uniform /
+    /// two-generation 2:1 / three-generation 4:2:1) under two contention
+    /// levels on the 16-GPU rack, for Themis and all four baselines.
+    /// Pinned seed — CI gates it exactly against
+    /// `BENCH_HETERO_BASELINE.json`; the uniform column doubles as a
+    /// standing speed-1.0-purity witness (its metrics must match the same
+    /// cells of any uniform matrix).
+    pub fn hetero() -> Matrix {
+        Matrix {
+            gen_mix: GenMix::ALL.to_vec(),
+            contention: vec![1.0, 2.0],
+            policies: vec![
+                Policy::themis_default(),
+                Policy::Gandiva,
+                Policy::Slaq,
+                Policy::Tiresias,
+                Policy::Drf,
+            ],
+            ..Matrix::point("hetero", ClusterKind::Rack16, 6, 42)
+        }
+    }
+
     /// Names accepted by [`Matrix::by_name`].
-    pub const NAMED: [&'static str; 6] = ["smoke", "full", "lease", "stress", "faults", "scale"];
+    pub const NAMED: [&'static str; 7] = [
+        "smoke", "full", "lease", "stress", "faults", "scale", "hetero",
+    ];
 
     /// Looks up a named matrix.
     pub fn by_name(name: &str) -> Option<Matrix> {
@@ -485,6 +612,7 @@ impl Matrix {
             "stress" => Some(Matrix::stress()),
             "faults" => Some(Matrix::faults()),
             "scale" => Some(Matrix::scale()),
+            "hetero" => Some(Matrix::hetero()),
             _ => None,
         }
     }
@@ -495,30 +623,33 @@ impl Matrix {
     pub fn expand(&self) -> Vec<Scenario> {
         let mut out = Vec::new();
         for &cluster in &self.clusters {
-            for &apps in &self.apps {
-                for &contention in &self.contention {
-                    for &network_fraction in &self.network_fraction {
-                        for &fairness_knob in &self.fairness_knob {
-                            for &lease_minutes in &self.lease_minutes {
-                                for &rho_error in &self.rho_error {
-                                    for &burst_fraction in &self.burst_fraction {
-                                        for &heavy_job_fraction in &self.heavy_job_fraction {
-                                            for &fault in &self.faults {
-                                                for &seed in &self.seeds {
-                                                    out.push(Scenario {
-                                                        cluster,
-                                                        apps,
-                                                        contention,
-                                                        network_fraction,
-                                                        fairness_knob,
-                                                        lease_minutes,
-                                                        rho_error,
-                                                        burst_fraction,
-                                                        heavy_job_fraction,
-                                                        fault,
-                                                        seed,
-                                                        scheduler_seed: seed,
-                                                    });
+            for &gen_mix in &self.gen_mix {
+                for &apps in &self.apps {
+                    for &contention in &self.contention {
+                        for &network_fraction in &self.network_fraction {
+                            for &fairness_knob in &self.fairness_knob {
+                                for &lease_minutes in &self.lease_minutes {
+                                    for &rho_error in &self.rho_error {
+                                        for &burst_fraction in &self.burst_fraction {
+                                            for &heavy_job_fraction in &self.heavy_job_fraction {
+                                                for &fault in &self.faults {
+                                                    for &seed in &self.seeds {
+                                                        out.push(Scenario {
+                                                            cluster,
+                                                            gen_mix,
+                                                            apps,
+                                                            contention,
+                                                            network_fraction,
+                                                            fairness_knob,
+                                                            lease_minutes,
+                                                            rho_error,
+                                                            burst_fraction,
+                                                            heavy_job_fraction,
+                                                            fault,
+                                                            seed,
+                                                            scheduler_seed: seed,
+                                                        });
+                                                    }
                                                 }
                                             }
                                         }
@@ -629,16 +760,21 @@ mod tests {
             .with_fairness_knob(0.4);
         assert_eq!(
             s.id(),
-            "testbed50-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-q0-s7"
+            "testbed50-guni-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-q0-s7"
         );
-        let faulty = s.with_fault(
+        let faulty = s.clone().with_fault(
             FaultConfig::reliable()
                 .with_drop_probability(0.25)
                 .with_crash(5, 2),
         );
         assert_eq!(
             faulty.id(),
-            "testbed50-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0.25-y0-c5x2-q0-s7"
+            "testbed50-guni-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0.25-y0-c5x2-q0-s7"
+        );
+        let mixed = s.with_gen_mix(GenMix::TwoGen);
+        assert_eq!(
+            mixed.id(),
+            "testbed50-g2gen-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-q0-s7"
         );
     }
 
@@ -701,5 +837,63 @@ mod tests {
         let b = s.run(Policy::themis_default());
         assert_eq!(a, b);
         assert!(a.scheduling_rounds > 0);
+    }
+
+    #[test]
+    fn gen_mix_round_trips_and_builds_mixed_specs() {
+        for mix in GenMix::ALL {
+            assert_eq!(GenMix::parse(mix.name()), Some(mix));
+            assert!(!mix.cycle().is_empty());
+            assert_eq!(mix.to_string(), mix.name());
+        }
+        assert_eq!(GenMix::parse("4gen"), None);
+        assert_eq!(GenMix::default(), GenMix::Uniform);
+
+        let s = Scenario::new(ClusterKind::Rack16, 2, 1);
+        // Uniform: the base spec, untouched.
+        assert_eq!(s.cluster_spec(), ClusterKind::Rack16.spec());
+        assert!(s.cluster_spec().is_unit_speed());
+        // Mixed: same topology, different speeds.
+        let mixed = s.with_gen_mix(GenMix::ThreeGen).cluster_spec();
+        assert_eq!(mixed.total_gpus(), 16);
+        assert_eq!(mixed.uniform_generation(), None);
+        assert!(mixed.total_speed() != 16.0);
+    }
+
+    #[test]
+    fn hetero_matrix_covers_the_mix_axis_for_every_policy() {
+        let matrix = Matrix::hetero();
+        assert_eq!(matrix.gen_mix.len(), 3);
+        assert_eq!(matrix.policies.len(), 5, "themis + all four baselines");
+        let cells = matrix.cells();
+        // Every policy runs every mix (no dedupe along the hetero axis).
+        for policy in &matrix.policies {
+            for mix in GenMix::ALL {
+                assert!(
+                    cells
+                        .iter()
+                        .any(|(s, p)| p.name() == policy.name() && s.gen_mix == mix),
+                    "{} missing a {} cell",
+                    policy.name(),
+                    mix
+                );
+            }
+        }
+        assert_eq!(
+            cells.len(),
+            matrix.expand().len() * matrix.policies.len(),
+            "no dedupe applies: every policy runs the full expansion"
+        );
+    }
+
+    #[test]
+    fn uniform_mix_cells_match_the_speed_blind_run() {
+        // The purity witness in miniature: a uniform-mix scenario is the
+        // *same cell* as the pre-heterogeneity scenario, report for report.
+        let s = Scenario::new(ClusterKind::Rack16, 3, 7).with_contention(2.0);
+        let uniform = s.clone().with_gen_mix(GenMix::Uniform);
+        for policy in [Policy::themis_default(), Policy::Tiresias] {
+            assert_eq!(s.run(policy), uniform.run(policy));
+        }
     }
 }

@@ -62,6 +62,20 @@ pub trait ClusterState {
     fn total_gpus(&self) -> usize {
         self.spec().total_gpus()
     }
+
+    /// Speed factor of a GPU (1.0 for unknown GPUs — the reference speed).
+    /// O(1) via the spec's precomputed GPU → (machine, rack, slot, speed)
+    /// table; shared by [`Cluster`] and the per-round [`ClusterView`]
+    /// shadow, so speed-aware placement helpers run against either.
+    fn gpu_speed(&self, gpu: GpuId) -> f64 {
+        self.spec().speed_of(gpu).unwrap_or(1.0)
+    }
+
+    /// Speed factor shared by every GPU of a machine (1.0 for unknown
+    /// machines).
+    fn machine_speed(&self, machine: MachineId) -> f64 {
+        self.spec().machine_speed(machine).unwrap_or(1.0)
+    }
 }
 
 impl ClusterState for Cluster {
@@ -331,6 +345,23 @@ mod tests {
             view.allocate(GpuId(99), AppId(3), JobId(0)),
             Err(ClusterError::UnknownGpu { .. })
         ));
+    }
+
+    #[test]
+    fn speed_queries_flow_through_state_and_view() {
+        use crate::topology::GpuGeneration;
+        let spec =
+            ClusterSpec::synthetic_mixed(1, 2, 4, &[GpuGeneration::Volta, GpuGeneration::Pascal]);
+        let c = Cluster::new(spec);
+        let view = c.view();
+        for state in [&c as &dyn ClusterState, &view as &dyn ClusterState] {
+            assert_eq!(state.gpu_speed(GpuId(0)), 2.0);
+            assert_eq!(state.gpu_speed(GpuId(4)), 1.0);
+            assert_eq!(state.gpu_speed(GpuId(99)), 1.0, "unknown GPUs default");
+            assert_eq!(state.machine_speed(MachineId(0)), 2.0);
+            assert_eq!(state.machine_speed(MachineId(1)), 1.0);
+            assert_eq!(state.machine_speed(MachineId(9)), 1.0);
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use themis_cluster::alloc::FreeVector;
 use themis_cluster::ids::{AppId, MachineId};
 use themis_cluster::time::Time;
+use themis_cluster::topology::ClusterSpec;
 use themis_protocol::bid::BidTable;
 use themis_protocol::messages::OfferMsg;
 
@@ -209,13 +210,18 @@ impl Arbiter {
     ///
     /// `statuses` must cover every schedulable app (participants and
     /// non-participants); `bids` are the tables received from the
-    /// participants' Agents.
+    /// participants' Agents; `spec` is the cluster topology, consulted for
+    /// machine speeds when handing out leftovers (leftover GPUs on *faster*
+    /// machines are placed first, so the most valuable stragglers are the
+    /// least likely to go unused when demand runs out mid-loop — on a
+    /// uniform-speed cluster the order is machine-id order, unchanged).
     pub fn run_auction(
         &mut self,
         offer: &FreeVector,
         statuses: &[AppStatus],
         participants: &[AppId],
         bids: &[BidTable],
+        spec: &ClusterSpec,
     ) -> AuctionOutcome {
         self.round += 1;
         let auction = partial_allocation(bids, offer);
@@ -238,7 +244,15 @@ impl Arbiter {
         }
 
         let mut leftover = auction.leftover.clone();
-        let machines: Vec<MachineId> = leftover.machines().collect();
+        let mut machines: Vec<MachineId> = leftover.machines().collect();
+        // Fastest machines first (stable: id order within a generation, and
+        // the speed-1.0 order is exactly the previous id order).
+        machines.sort_by(|a, b| {
+            spec.machine_speed(*b)
+                .unwrap_or(1.0)
+                .total_cmp(&spec.machine_speed(*a).unwrap_or(1.0))
+                .then(a.cmp(b))
+        });
         for machine in machines {
             while leftover.on_machine(machine) > 0 {
                 let pick = self.pick_leftover_recipient(machine, statuses);
@@ -311,6 +325,12 @@ impl Arbiter {
 mod tests {
     use super::*;
 
+    /// A uniform-speed 4-machine × 8-GPU spec covering every machine id the
+    /// tests hand out leftovers on.
+    fn spec() -> ClusterSpec {
+        ClusterSpec::synthetic(1, 4, 8)
+    }
+
     fn status(app: u32, rho: f64, demand: usize, footprint: &[u32]) -> AppStatus {
         AppStatus {
             app: AppId(app),
@@ -377,7 +397,7 @@ mod tests {
         ];
         let participants = vec![AppId(0), AppId(1)];
         let bids = vec![scaling_bid(0, 50.0, 0, 4), scaling_bid(1, 40.0, 1, 4)];
-        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids, &spec());
         assert_eq!(outcome.round, 1);
         // Both bidders target disjoint machines, so both win fully and no
         // leftovers remain for app 2.
@@ -398,7 +418,7 @@ mod tests {
         ];
         let participants = vec![AppId(0)];
         let bids = vec![scaling_bid(0, 50.0, 0, 4)];
-        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids, &spec());
         assert_eq!(outcome.winners[&AppId(0)].total(), 4);
         // Machine 1's two GPUs go to app 1 (footprint match).
         let grant = outcome
@@ -417,7 +437,7 @@ mod tests {
         let statuses = vec![status(0, 50.0, 8, &[])];
         let participants = vec![AppId(0)];
         let bids = vec![scaling_bid(0, 50.0, 0, 2)];
-        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids, &spec());
         // Machine 1's GPUs still end up with app 0 (work conservation).
         let total = outcome.total_granted();
         assert_eq!(total, 4);
@@ -434,7 +454,7 @@ mod tests {
         ];
         let participants = vec![AppId(0), AppId(1)];
         let bids = vec![scaling_bid(0, 50.0, 0, 3), scaling_bid(1, 40.0, 0, 3)];
-        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+        let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids, &spec());
         assert_eq!(outcome.total_granted(), offer.total(), "work conserving");
         let mut total = FreeVector::empty();
         for grant in outcome.into_all_grants().values() {
@@ -442,6 +462,30 @@ mod tests {
         }
         assert!(offer.contains_vector(&total));
         assert_eq!(total.total(), offer.total());
+    }
+
+    #[test]
+    fn leftovers_on_faster_machines_are_placed_first() {
+        use themis_cluster::topology::GpuGeneration;
+        // Machine 0 Pascal (1.0), machine 1 Volta (2.0). No bids at all, so
+        // the whole offer is leftover; the lone app's demand covers only
+        // half of it, and the Volta GPUs must be the half that lands.
+        let mixed =
+            ClusterSpec::synthetic_mixed(1, 2, 8, &[GpuGeneration::Pascal, GpuGeneration::Volta]);
+        let mut arbiter = Arbiter::new(ThemisConfig::default());
+        let offer = fv(&[(0, 8), (1, 8)]);
+        let statuses = vec![status(0, 5.0, 8, &[])];
+        let outcome = arbiter.run_auction(&offer, &statuses, &[], &[], &mixed);
+        let grant = outcome
+            .leftover_grants
+            .get(&AppId(0))
+            .expect("app 0 takes leftovers");
+        assert_eq!(grant.total(), 8);
+        assert_eq!(
+            grant.on_machine(MachineId(1)),
+            8,
+            "the Volta machine's GPUs are placed before the Pascal ones"
+        );
     }
 
     #[test]

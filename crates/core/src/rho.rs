@@ -93,12 +93,15 @@ pub fn share_locality(share: &JobShare, spec: &ClusterSpec) -> Locality {
 /// Because the app finishes when its fastest job converges, jobs are
 /// visited in order of *increasing* work left — the job that determines the
 /// app's finish time is packed first. Each job takes as many GPUs as it can
-/// use from the machine with the most remaining GPUs, spilling to further
-/// machines only when necessary.
+/// use from the machine with the most remaining GPUs — breaking ties toward
+/// the machine with the *faster* GPU generation, so on a mixed cluster the
+/// finish-time-critical job lands on the fastest silicon — spilling to
+/// further machines only when necessary. On a uniform-speed cluster every
+/// speed comparison ties and the distribution is the speed-blind one.
 pub fn greedy_job_distribution(
     estimates: &[JobEstimate],
     aggregate: &BTreeMap<MachineId, usize>,
-    _spec: &ClusterSpec,
+    spec: &ClusterSpec,
 ) -> BTreeMap<JobId, JobShare> {
     let mut remaining: BTreeMap<MachineId, usize> = aggregate
         .iter()
@@ -108,16 +111,20 @@ pub fn greedy_job_distribution(
     let mut order: Vec<&JobEstimate> = estimates.iter().collect();
     order.sort_by(|a, b| a.work_left.cmp(&b.work_left).then(a.job.cmp(&b.job)));
 
+    let speed = |m: MachineId| spec.machine_speed(m).unwrap_or(1.0);
     let mut shares: BTreeMap<JobId, JobShare> = BTreeMap::new();
     for est in order {
         let mut need = est.max_parallelism;
         let mut share: JobShare = Vec::new();
         while need > 0 {
-            // Machine with the most remaining GPUs (densest placement).
-            let Some((&machine, &avail)) = remaining
-                .iter()
-                .filter(|(_, c)| **c > 0)
-                .max_by_key(|(m, c)| (**c, std::cmp::Reverse(**m)))
+            // Machine with the most remaining GPUs (densest placement),
+            // fastest generation then lowest id on ties.
+            let Some((&machine, &avail)) =
+                remaining.iter().filter(|(_, c)| **c > 0).max_by(|a, b| {
+                    a.1.cmp(b.1)
+                        .then_with(|| speed(*a.0).total_cmp(&speed(*b.0)))
+                        .then_with(|| b.0.cmp(a.0))
+                })
             else {
                 break;
             };
@@ -133,19 +140,48 @@ pub fn greedy_job_distribution(
     shares
 }
 
+/// Aggregate speed of the `cap` fastest GPUs of a job share — the
+/// `Σ speed_i` term of the effective-throughput model for a share expressed
+/// as per-machine counts (all GPUs of one machine share a generation).
+/// `min(total, cap) as f64` exactly on a uniform-speed cluster.
+fn share_speed(share: &JobShare, cap: usize, spec: &ClusterSpec) -> f64 {
+    let mut by_speed: Vec<(f64, usize)> = share
+        .iter()
+        .filter(|(_, count)| *count > 0)
+        .map(|(machine, count)| (spec.machine_speed(*machine).unwrap_or(1.0), *count))
+        .collect();
+    by_speed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut left = cap;
+    let mut speed = 0.0;
+    for (machine_speed, count) in by_speed {
+        if left == 0 {
+            break;
+        }
+        let take = count.min(left);
+        speed += machine_speed * take as f64;
+        left -= take;
+    }
+    speed
+}
+
 /// Estimates ρ for an app given per-job estimates, the elapsed time since
 /// the app arrived, and a job-level allocation (shares of machines).
 ///
 /// The shared running time is estimated as
-/// `T_sh = elapsed + Σ_j W'_j / Σ_j (G_j · S_j(placement))`: the app's
-/// aggregate remaining exploration work divided by the aggregate effective
-/// throughput of the candidate allocation. For single-job apps this is
-/// exactly the paper's §5.2 step-4 formula. For hyper-parameter-sweep apps
-/// it models the app time-sharing its GPUs across the surviving jobs until
-/// the exploration has run its course, which is how the simulator (and a
-/// real HyperBand deployment) behaves. The estimate stays homogeneous of
-/// degree one in the allocation — the property the truthfulness proof of
-/// the partial-allocation mechanism relies on (§5.1).
+/// `T_sh = elapsed + Σ_j W'_j / Σ_j (G_eff_j · S_j(placement))` with
+/// `G_eff_j = Σ_i speed_i` over the job's share: the app's aggregate
+/// remaining exploration work divided by the aggregate *generation-weighted*
+/// effective throughput of the candidate allocation. On a uniform-speed
+/// cluster `G_eff = G` and this is exactly the paper's §5.2 step-4 formula;
+/// on a mixed-generation cluster a fast-GPU share is worth proportionally
+/// more, which is what makes the Agents' bids speed-aware. For
+/// hyper-parameter-sweep apps it models the app time-sharing its GPUs
+/// across the surviving jobs until the exploration has run its course,
+/// which is how the simulator (and a real HyperBand deployment) behaves.
+/// The estimate stays homogeneous of degree one in the allocation — the
+/// property the truthfulness proof of the partial-allocation mechanism
+/// relies on (§5.1). `T_id` stays defined on reference-speed GPUs, so ρ on
+/// a fast share can legitimately dip below its uniform-cluster value.
 pub fn estimate_rho(
     estimates: &[JobEstimate],
     elapsed: Time,
@@ -165,9 +201,13 @@ pub fn estimate_rho(
         if gpus == 0 {
             continue;
         }
-        let locality = share_locality(share.expect("gpus > 0 implies share"), spec);
+        let share = share.expect("gpus > 0 implies share");
+        let locality = share_locality(share, spec);
         let usable = gpus.min(est.max_parallelism.max(1));
-        aggregate_speedup += est.sensitivity.effective_speedup(usable, locality);
+        let usable_speed = share_speed(share, usable, spec);
+        aggregate_speedup +=
+            est.sensitivity
+                .effective_speedup_weighted(usable, usable_speed, locality);
     }
     let t_sh = if total_work_left <= Time::ZERO {
         // Everything has converged or been terminated: the app's running
@@ -333,6 +373,49 @@ mod tests {
         // The job with the least work left (job 0, which determines the
         // app's finish time) is served first and gets the densest machine.
         assert_eq!(shares[&JobId(0)][0].0, MachineId(0));
+    }
+
+    #[test]
+    fn fast_gpu_share_lowers_rho() {
+        use themis_cluster::topology::GpuGeneration;
+        // Machine 0 is Volta (2.0), machine 1 is Pascal (1.0); same rack.
+        let mixed =
+            ClusterSpec::synthetic_mixed(1, 2, 4, &[GpuGeneration::Volta, GpuGeneration::Pascal]);
+        let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::ResNet50)];
+        let fast: BTreeMap<MachineId, usize> = [(MachineId(0), 4)].into();
+        let slow: BTreeMap<MachineId, usize> = [(MachineId(1), 4)].into();
+        let rho_fast = estimate_rho_for_aggregate(&estimates, Time::ZERO, &fast, &mixed);
+        let rho_slow = estimate_rho_for_aggregate(&estimates, Time::ZERO, &slow, &mixed);
+        // Same GPU count, same locality: the Volta share is worth 2x.
+        assert!(
+            (rho_slow.rho / rho_fast.rho - 2.0).abs() < 1e-9,
+            "fast {} vs slow {}",
+            rho_fast.rho,
+            rho_slow.rho
+        );
+        // And the slow share matches the uniform-cluster estimate exactly:
+        // T_id is defined on reference-speed GPUs.
+        let uniform = ClusterSpec::synthetic(1, 2, 4);
+        let rho_uniform = estimate_rho_for_aggregate(&estimates, Time::ZERO, &slow, &uniform);
+        assert_eq!(rho_slow, rho_uniform);
+    }
+
+    #[test]
+    fn greedy_distribution_breaks_count_ties_toward_faster_machines() {
+        use themis_cluster::topology::GpuGeneration;
+        // Machine 0 Pascal, machine 1 Volta, equal counts on offer.
+        let mixed =
+            ClusterSpec::synthetic_mixed(1, 2, 4, &[GpuGeneration::Pascal, GpuGeneration::Volta]);
+        let estimates = vec![est(0, 100.0, 100.0, 4, ModelArch::ResNet50)];
+        let aggregate: BTreeMap<MachineId, usize> = [(MachineId(0), 4), (MachineId(1), 4)].into();
+        let shares = greedy_job_distribution(&estimates, &aggregate, &mixed);
+        // The finish-time-critical job is packed onto the Volta machine.
+        assert_eq!(shares[&JobId(0)], vec![(MachineId(1), 4)]);
+        // On the uniform cluster the same tie goes to the lower machine id
+        // (the speed-blind behavior).
+        let uniform = ClusterSpec::synthetic(1, 2, 4);
+        let shares = greedy_job_distribution(&estimates, &aggregate, &uniform);
+        assert_eq!(shares[&JobId(0)], vec![(MachineId(0), 4)]);
     }
 
     #[test]

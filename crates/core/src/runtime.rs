@@ -408,9 +408,9 @@ impl Scheduler for DistributedThemisScheduler {
         // Step 5: run the auction, materialize grants, notify winners. A
         // grant only takes effect if its Win notification is delivered by
         // the deadline — otherwise the GPUs stay free for the next round.
-        let outcome = self
-            .arbiter
-            .run_auction(&offer, &statuses, &participants, &bids);
+        let outcome =
+            self.arbiter
+                .run_auction(&offer, &statuses, &participants, &bids, cluster.spec());
         let mut shadow = cluster.view();
         let mut decisions = Vec::new();
         for (app, grant) in outcome.into_all_grants() {

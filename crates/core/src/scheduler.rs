@@ -144,9 +144,9 @@ impl Scheduler for ThemisScheduler {
         }
 
         // 3. Run the auction + leftover assignment.
-        let outcome = self
-            .arbiter
-            .run_auction(&offer, &statuses, &participants, &bids);
+        let outcome =
+            self.arbiter
+                .run_auction(&offer, &statuses, &participants, &bids, cluster.spec());
 
         // 4. Materialize per-machine grants into concrete GPU decisions,
         //    against a borrowed per-round view (no cluster clone).

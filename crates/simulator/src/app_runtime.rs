@@ -248,13 +248,15 @@ impl AppRuntime {
             }
             let locality = themis_cluster::placement::spread(alloc, cluster.spec());
             // Attained service and placement score accrue for the full
-            // interval the GPUs are held.
+            // interval the GPUs are held — physical GPU-minutes, never
+            // speed-weighted (a slow GPU occupies the cluster just as long).
             let gpu_minutes = dt.as_minutes() * gpus as f64;
             self.attained_service += Time::minutes(gpu_minutes);
             let score = cluster.scorer().score(alloc, cluster.spec());
             self.placement_acc.0 += score * gpu_minutes;
             self.placement_acc.1 += gpu_minutes;
-            // Training progress only accrues after any restart penalty.
+            // Training progress only accrues after any restart penalty, at
+            // the generation-weighted effective rate G_eff = Σ speed_i × S.
             let start = self
                 .restart_until
                 .get(&job_spec.id)
@@ -262,7 +264,8 @@ impl AppRuntime {
                 .unwrap_or(Time::ZERO)
                 .max(from);
             if start < to {
-                progress.advance(job_spec, to - start, gpus, locality);
+                let usable_speed = cluster.spec().capped_speed(alloc, job_spec.max_parallelism);
+                progress.advance_weighted(job_spec, to - start, gpus, usable_speed, locality);
             }
             if progress.is_converged(job_spec) {
                 progress.mark_finished(to);

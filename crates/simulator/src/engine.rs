@@ -400,7 +400,18 @@ impl<S: Scheduler> Engine<S> {
                     continue;
                 }
                 let locality = themis_cluster::placement::spread(alloc, self.cluster.spec());
-                let mut eta = progress.time_to_complete(job_spec, alloc.len(), locality);
+                // Projections must stay symmetric with AppRuntime::advance,
+                // so they use the same generation-weighted effective rate.
+                let usable_speed = self
+                    .cluster
+                    .spec()
+                    .capped_speed(alloc, job_spec.max_parallelism);
+                let mut eta = progress.time_to_complete_weighted(
+                    job_spec,
+                    alloc.len(),
+                    usable_speed,
+                    locality,
+                );
                 if let Some(restart) = rt.restart_until.get(&job_spec.id) {
                     if *restart > now {
                         eta += *restart - now;

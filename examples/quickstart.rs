@@ -80,7 +80,7 @@ fn main() {
         .collect();
 
     // Step 5: run the partial-allocation auction and report the winners.
-    let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids);
+    let outcome = arbiter.run_auction(&offer, &statuses, &participants, &bids, cluster.spec());
     for (app, grant) in outcome.all_grants() {
         println!(
             "{app} wins {} GPUs: {:?}",

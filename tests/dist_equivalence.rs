@@ -87,7 +87,7 @@ fn delay_beyond_deadline_never_wedges_the_engine() {
         .sim_config()
         .with_max_sim_time(Time::minutes(2_000.0));
     let report = Engine::new(
-        Cluster::new(scenario.cluster.spec()),
+        Cluster::new(scenario.cluster_spec()),
         scenario.trace(),
         scenario
             .instantiate(Policy::themis_dist_default())

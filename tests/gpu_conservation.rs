@@ -8,7 +8,8 @@
 //! exceed cluster capacity. Scenarios come from the scenario-matrix
 //! generator with randomized axis values, so the invariant is exercised
 //! across contention levels, fairness knobs, leases, bursty arrivals,
-//! heavy 8-GPU jobs and (for the distributed mode) transport faults —
+//! heavy 8-GPU jobs, GPU-generation mixes (where the speed-aware paths
+//! prefer fast silicon) and (for the distributed mode) transport faults —
 //! for both Themis modes and all four baselines. A dropped `Win`
 //! notification or an Agent that misses a round mid-lease must never
 //! leak or double-lease a GPU.
@@ -16,7 +17,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use themis_bench::policies::Policy;
-use themis_bench::scenarios::{ClusterKind, Matrix, Scenario};
+use themis_bench::scenarios::{ClusterKind, GenMix, Matrix, Scenario};
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::GpuId;
 use themis_cluster::time::Time;
@@ -83,6 +84,7 @@ impl Scheduler for ConservationGuard {
 /// transport point (which only the distributed policy runs).
 fn property_cells() -> Vec<(Scenario, Policy)> {
     let matrix = Matrix {
+        gen_mix: GenMix::ALL.to_vec(),
         apps: vec![2, 4],
         contention: vec![1.0, 4.0],
         fairness_knob: vec![0.2, 0.8],
@@ -118,7 +120,7 @@ proptest! {
         let guard = ConservationGuard {
             inner: scenario.instantiate(policy).build_with(&config),
         };
-        let cluster = Cluster::new(scenario.cluster.spec());
+        let cluster = Cluster::new(scenario.cluster_spec());
         let report = Engine::new(cluster, scenario.trace(), guard, config).run();
         prop_assert!(
             report.scheduling_rounds > 0,
@@ -155,7 +157,7 @@ fn distributed_scheduler_conserves_gpus_under_faults() {
                 .build_with(&config),
         };
         let report = Engine::new(
-            Cluster::new(scenario.cluster.spec()),
+            Cluster::new(scenario.cluster_spec()),
             scenario.trace(),
             guard,
             config,

@@ -156,7 +156,13 @@ fn arbiter_and_agent_talk_over_the_in_memory_transport() {
         unmet_demand: runtime.unmet_demand(&cluster),
         footprint: Default::default(),
     }];
-    let outcome = arbiter.run_auction(&offer.resources, &statuses, &[AppId(0)], &bids);
+    let outcome = arbiter.run_auction(
+        &offer.resources,
+        &statuses,
+        &[AppId(0)],
+        &bids,
+        cluster.spec(),
+    );
     let grants = outcome.all_grants();
     let grant = &grants[&AppId(0)];
     assert_eq!(
