@@ -8,6 +8,7 @@
 //! sweep --matrix smoke --timings --out sweep-timed.json
 //! sweep --matrix smoke,stress,scale --bench --out BENCH_PERF.json
 //! sweep --matrix scale --bench --out perf.json --check BENCH_PERF.json
+//! sweep --matrix faults --replay-gate --log-out msglogs
 //! ```
 //!
 //! The emitted JSON is canonical: identical for `--jobs 1` and `--jobs N`,
@@ -20,17 +21,25 @@
 //! output is a perf document (see `themis_bench::perf`) — the format of
 //! the committed `BENCH_PERF.json` performance trajectory. `--check` then
 //! compares *metrics* against a perf baseline; wall-clock never fails.
+//!
+//! `--replay-gate` switches to the record→replay determinism gate: every
+//! distributed-mode cell of the matrix runs once with a message transcript
+//! attached, is re-executed from the transcript alone, and the two
+//! canonical reports are byte-compared. Any divergence exits 1. With
+//! `--log-out DIR` each cell's transcript is written to
+//! `DIR/<scenario id>.msglog` (the CI artifact).
 
 use themis_bench::perf::{compare_perf, PerfReport};
 use themis_bench::policies::Policy;
 use themis_bench::report::{compare_reports, SweepReport};
 use themis_bench::scenarios::Matrix;
-use themis_bench::sweep::run_sweep_filtered;
+use themis_bench::sweep::{run_replay_gate, run_sweep_filtered};
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--matrix NAME[,NAME..]] [--policy A,B,..] [--jobs N] [--out FILE]\n\
          \x20            [--check BASELINE] [--tolerance T] [--timings] [--bench] [--list]\n\
+         \x20            [--replay-gate] [--log-out DIR]\n\
          known matrices: {}\n\
          known policies: {}",
         Matrix::NAMED.join(", "),
@@ -91,6 +100,8 @@ fn main() {
     let mut timings = false;
     let mut bench = false;
     let mut list = false;
+    let mut replay_gate = false;
+    let mut log_out: Option<String> = None;
 
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -137,6 +148,8 @@ fn main() {
             "--timings" => timings = true,
             "--bench" => bench = true,
             "--list" => list = true,
+            "--replay-gate" => replay_gate = true,
+            "--log-out" => log_out = Some(arg_value(&mut iter, "--log-out")),
             _ => {
                 eprintln!("error: unknown argument '{arg}'");
                 usage();
@@ -163,8 +176,10 @@ fn main() {
     }
 
     let matrix_names: Vec<&str> = matrix_spec.split(',').filter(|s| !s.is_empty()).collect();
-    if matrix_names.is_empty() || (!bench && matrix_names.len() > 1) {
-        eprintln!("error: --matrix takes one name (a comma-separated list needs --bench)");
+    if matrix_names.is_empty() || (!bench && !replay_gate && matrix_names.len() > 1) {
+        eprintln!(
+            "error: --matrix takes one name (a comma-separated list needs --bench or --replay-gate)"
+        );
         usage();
     }
     let matrices: Vec<Matrix> = matrix_names
@@ -176,6 +191,47 @@ fn main() {
             })
         })
         .collect();
+
+    if replay_gate {
+        // Replay-gate mode: record every distributed cell, re-execute it
+        // from its transcript alone, byte-diff the canonical reports.
+        let mut failed = 0usize;
+        for matrix in &matrices {
+            let outcomes = run_replay_gate(matrix);
+            if outcomes.is_empty() {
+                eprintln!(
+                    "replay gate: matrix '{}' has no distributed cells",
+                    matrix.name
+                );
+            }
+            for outcome in outcomes {
+                let verdict = if outcome.matched { "ok" } else { "DIVERGED" };
+                eprintln!(
+                    "replay gate: {} — {} ({} transport records)",
+                    outcome.id, verdict, outcome.records
+                );
+                if !outcome.matched {
+                    failed += 1;
+                }
+                if let Some(dir) = &log_out {
+                    let scenario_id = outcome.id.split('/').next().unwrap_or(&outcome.id);
+                    let path = format!("{dir}/{scenario_id}.msglog");
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(&path, &outcome.log_text))
+                    {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        if failed > 0 {
+            eprintln!("replay gate FAILED: {failed} cell(s) diverged from their transcript");
+            std::process::exit(1);
+        }
+        eprintln!("replay gate passed: every distributed cell replays byte-identically");
+        return;
+    }
 
     if bench {
         // Perf mode: run every matrix with timings, emit the perf document,

@@ -1,9 +1,10 @@
 //! Scheduling policies under test, by name.
 
 use themis_baselines::{Drf, Gandiva, Slaq, Tiresias};
+use themis_core::actors::DistributedThemisScheduler;
 use themis_core::config::ThemisConfig;
-use themis_core::runtime::DistributedThemisScheduler;
 use themis_core::scheduler::ThemisScheduler;
+use themis_protocol::network::LogMode;
 use themis_sim::engine::SimConfig;
 use themis_sim::scheduler::Scheduler;
 
@@ -13,9 +14,11 @@ pub enum Policy {
     /// Themis with a given configuration.
     Themis(ThemisConfig),
     /// Themis in distributed mode: the same auction, but every round runs
-    /// as the §3.1 message exchange over the fault-injecting transport
-    /// (`themis_core::runtime`). Picks up the scenario's `FaultConfig`
-    /// through [`Policy::build_with`].
+    /// as the §3.1 message exchange between an Arbiter actor and per-app
+    /// Agent actors on the causal, fault-injecting actor transport
+    /// (`themis_core::actors`). Picks up the scenario's `FaultConfig`
+    /// through [`Policy::build_with`], and supports transport-level
+    /// record/replay through [`Policy::build_with_log`].
     ThemisDist(ThemisConfig),
     /// The Gandiva placement-greedy emulation.
     Gandiva,
@@ -104,11 +107,20 @@ impl Policy {
     /// scenario's fault axis reaches the transport layer; every other
     /// policy ignores the engine config.
     pub fn build_with(&self, sim: &SimConfig) -> Box<dyn Scheduler> {
+        self.build_with_log(sim, LogMode::Off)
+    }
+
+    /// Like [`Policy::build_with`], but additionally wires a transport
+    /// [`LogMode`] into distributed-mode Themis: `Record` transcribes every
+    /// send/deliver/timer decision into a `MessageLog`, `Replay` re-executes
+    /// a previous run from its log alone. Every other policy has no
+    /// transport, so the mode is ignored.
+    pub fn build_with_log(&self, sim: &SimConfig, mode: LogMode) -> Box<dyn Scheduler> {
         match self {
             Policy::Themis(config) => Box::new(ThemisScheduler::new(*config)),
-            Policy::ThemisDist(config) => {
-                Box::new(DistributedThemisScheduler::new(*config, sim.fault))
-            }
+            Policy::ThemisDist(config) => Box::new(DistributedThemisScheduler::with_log_mode(
+                *config, sim.fault, mode,
+            )),
             Policy::Gandiva => Box::new(Gandiva::new()),
             Policy::Tiresias => Box::new(Tiresias::new()),
             Policy::Slaq => Box::new(Slaq::new()),

@@ -19,8 +19,9 @@ use themis_sim::metrics::SimReport;
 /// stale baseline fails loudly instead of diffing nonsense.
 /// v2 added the scenario's transport-fault axis (`fault_*` fields); v3
 /// added the GPU-generation heterogeneity axis (`gen_mix` plus the derived
-/// per-cell `speed_*` metadata).
-pub const SCHEMA_VERSION: f64 = 3.0;
+/// per-cell `speed_*` metadata); v4 added the actor-transport fault axes
+/// (jitter, bandwidth, partitions, Arbiter failover).
+pub const SCHEMA_VERSION: f64 = 4.0;
 
 /// The metrics extracted from one simulation run (the paper's §8.1 set).
 #[derive(Debug, Clone, PartialEq)]
@@ -201,6 +202,26 @@ impl CellReport {
                 "fault_crash_rounds".into(),
                 Json::num(scenario.fault.crash_rounds as f64),
             ),
+            (
+                "fault_jitter_minutes".into(),
+                Json::num(scenario.fault.jitter.as_minutes()),
+            ),
+            (
+                "fault_bandwidth".into(),
+                Json::num(scenario.fault.bandwidth),
+            ),
+            (
+                "fault_partition_period".into(),
+                Json::num(scenario.fault.partition_period as f64),
+            ),
+            (
+                "fault_partition_rounds".into(),
+                Json::num(scenario.fault.partition_rounds as f64),
+            ),
+            (
+                "fault_failover_period".into(),
+                Json::num(scenario.fault.failover_period as f64),
+            ),
             ("fault_seed".into(), Json::num(scenario.fault.seed as f64)),
             ("seed".into(), Json::num(scenario.seed as f64)),
             (
@@ -259,12 +280,27 @@ impl CellReport {
                 if delay_minutes.is_nan() || delay_minutes < 0.0 {
                     return Err(format!("fault_delay_minutes {delay_minutes} is negative"));
                 }
+                let jitter_minutes = req("fault_jitter_minutes")?;
+                if jitter_minutes.is_nan() || jitter_minutes < 0.0 {
+                    return Err(format!("fault_jitter_minutes {jitter_minutes} is negative"));
+                }
+                let bandwidth = req("fault_bandwidth")?;
+                if !bandwidth.is_finite() || bandwidth < 0.0 {
+                    return Err(format!(
+                        "fault_bandwidth {bandwidth} is not finite and non-negative"
+                    ));
+                }
                 FaultConfig {
                     drop_probability,
                     delay: Time::minutes(delay_minutes),
                     seed: uint("fault_seed")?,
                     crash_period: uint("fault_crash_period")?,
                     crash_rounds: uint("fault_crash_rounds")?,
+                    jitter: Time::minutes(jitter_minutes),
+                    bandwidth,
+                    partition_period: uint("fault_partition_period")?,
+                    partition_rounds: uint("fault_partition_rounds")?,
+                    failover_period: uint("fault_failover_period")?,
                 }
             },
             seed: req("seed")? as u64,
@@ -561,7 +597,7 @@ mod tests {
     fn schema_version_mismatch_is_rejected() {
         let text = sample_report()
             .to_canonical_string()
-            .replace("\"schema_version\": 3", "\"schema_version\": 99");
+            .replace("\"schema_version\": 4", "\"schema_version\": 99");
         let err = SweepReport::parse_str(&text).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }

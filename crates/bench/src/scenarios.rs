@@ -19,10 +19,14 @@
 //! reads the reports back.
 
 use crate::policies::Policy;
+use parking_lot::Mutex;
+use std::sync::Arc;
 use themis_cluster::cluster::Cluster;
 use themis_cluster::time::Time;
 use themis_cluster::topology::{ClusterSpec, GpuGeneration};
 use themis_core::config::ThemisConfig;
+use themis_protocol::log::MessageLog;
+use themis_protocol::network::LogMode;
 use themis_protocol::transport::FaultConfig;
 use themis_sim::engine::{Engine, SimConfig};
 use themis_sim::metrics::SimReport;
@@ -315,13 +319,15 @@ impl Scenario {
     }
 
     /// A compact, stable identifier encoding every axis value, e.g.
-    /// `testbed50-guni-a8-x2-n0.4-f0.8-l20-e0-b0-h0-d0-y0-c0x0-q0-s42`
+    /// `testbed50-guni-a8-x2-n0.4-f0.8-l20-e0-b0-h0-d0-y0-c0x0-j0-w0-p0x0-o0-q0-s42`
     /// (`g` is the generation mix, `d` the drop probability, `y` the
-    /// delivery delay in minutes, `c` the crash period × duration, `q` the
-    /// fault RNG seed).
+    /// delivery delay in minutes, `c` the crash period × duration, `j` the
+    /// delivery jitter in minutes, `w` the link bandwidth, `p` the
+    /// partition period × duration, `o` the Arbiter-failover period, `q`
+    /// the fault RNG seed).
     pub fn id(&self) -> String {
         format!(
-            "{}-g{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-q{}-s{}",
+            "{}-g{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-j{}-w{}-p{}x{}-o{}-q{}-s{}",
             self.cluster.name(),
             self.gen_mix.name(),
             self.apps,
@@ -336,6 +342,11 @@ impl Scenario {
             self.fault.delay.as_minutes(),
             self.fault.crash_period,
             self.fault.crash_rounds,
+            self.fault.jitter.as_minutes(),
+            self.fault.bandwidth,
+            self.fault.partition_period,
+            self.fault.partition_rounds,
+            self.fault.failover_period,
             self.fault.seed,
             self.seed
         )
@@ -409,15 +420,49 @@ impl Scenario {
     /// scenario generate the trace once and clone it, instead of
     /// regenerating it per policy.
     pub fn run_on_trace(&self, policy: Policy, trace: Vec<AppSpec>) -> SimReport {
+        self.run_on_trace_with_log(policy, trace, LogMode::Off)
+    }
+
+    /// Runs `policy` on a prebuilt trace with an explicit transport
+    /// [`LogMode`]. Only distributed-mode Themis has a transport; every
+    /// other policy ignores the mode (see `Policy::build_with_log`).
+    pub fn run_on_trace_with_log(
+        &self,
+        policy: Policy,
+        trace: Vec<AppSpec>,
+        mode: LogMode,
+    ) -> SimReport {
         let cluster = Cluster::new(self.cluster_spec());
         let config = self.sim_config();
         Engine::new(
             cluster,
             trace,
-            self.instantiate(policy).build_with(&config),
+            self.instantiate(policy).build_with_log(&config, mode),
             config,
         )
         .run()
+    }
+
+    /// Runs `policy` to completion while transcribing every transport
+    /// decision — send fates, deliveries, timers — into the returned
+    /// [`MessageLog`]. For a non-distributed policy the log comes back
+    /// empty: only the actor transport makes decisions worth recording.
+    pub fn run_recorded(&self, policy: Policy) -> (SimReport, MessageLog) {
+        let log = Arc::new(Mutex::new(MessageLog::new()));
+        let report =
+            self.run_on_trace_with_log(policy, self.trace(), LogMode::record(Arc::clone(&log)));
+        let log = Arc::try_unwrap(log)
+            .expect("engine dropped its log handle at run end")
+            .into_inner();
+        (report, log)
+    }
+
+    /// Re-runs `policy` taking every transport decision from `log` instead
+    /// of the fault RNG. A faithful log reproduces the recorded run
+    /// byte-for-byte (the replay-gate invariant); a divergent, truncated
+    /// or corrupted log panics with a record-index diagnostic.
+    pub fn run_replayed(&self, policy: Policy, log: MessageLog) -> SimReport {
+        self.run_on_trace_with_log(policy, self.trace(), LogMode::replay(Arc::new(log)))
     }
 }
 
@@ -536,10 +581,16 @@ impl Matrix {
     }
 
     /// The control-plane robustness matrix: distributed-mode Themis under
-    /// escalating transport faults (message drops, delivery delay, agent
-    /// crashes), with in-process Themis on the reliable point as the
-    /// degradation reference. Pinned seed — CI gates it exactly against
-    /// `BENCH_FAULTS_BASELINE.json`, so a protocol regression fails fast.
+    /// escalating transport faults (message drops, delivery delay and
+    /// jitter, constrained link bandwidth, agent crashes, network
+    /// partitions, Arbiter failover), with in-process Themis on the
+    /// reliable point as the degradation reference. The delay cell sits at
+    /// 5 s — under the actor runtime a round completes only when the
+    /// one-way delay stays within a quarter of the 30 s bid deadline, so
+    /// 5 s exercises slow-but-completing rounds while the combined cell
+    /// stresses the deadline itself. Pinned seed — CI gates it exactly
+    /// against `BENCH_FAULTS_BASELINE.json`, so a protocol regression
+    /// fails fast.
     pub fn faults() -> Matrix {
         Matrix {
             policies: vec![Policy::themis_default(), Policy::themis_dist_default()],
@@ -547,7 +598,17 @@ impl Matrix {
             faults: vec![
                 FaultConfig::reliable(),
                 FaultConfig::reliable().with_drop_probability(0.2),
-                FaultConfig::reliable().with_delay(Time::seconds(10.0)),
+                FaultConfig::reliable().with_delay(Time::seconds(5.0)),
+                // Reordering: small fixed delay, dominant jitter.
+                FaultConfig::reliable()
+                    .with_delay(Time::seconds(2.0))
+                    .with_jitter(Time::seconds(6.0)),
+                // Serialized links: offers/bids queue behind each other.
+                FaultConfig::reliable().with_bandwidth(120.0),
+                // Split-and-heal partitions every 4th round, 2 rounds long.
+                FaultConfig::reliable().with_partition(4, 2),
+                // Arbiter crash-failover every 6th round voids in-flight Wins.
+                FaultConfig::reliable().with_failover(6),
                 FaultConfig::reliable()
                     .with_drop_probability(0.3)
                     .with_delay(Time::seconds(5.0))
@@ -760,21 +821,23 @@ mod tests {
             .with_fairness_knob(0.4);
         assert_eq!(
             s.id(),
-            "testbed50-guni-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-q0-s7"
+            "testbed50-guni-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-j0-w0-p0x0-o0-q0-s7"
         );
         let faulty = s.clone().with_fault(
             FaultConfig::reliable()
                 .with_drop_probability(0.25)
-                .with_crash(5, 2),
+                .with_crash(5, 2)
+                .with_partition(4, 2)
+                .with_failover(6),
         );
         assert_eq!(
             faulty.id(),
-            "testbed50-guni-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0.25-y0-c5x2-q0-s7"
+            "testbed50-guni-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0.25-y0-c5x2-j0-w0-p4x2-o6-q0-s7"
         );
         let mixed = s.with_gen_mix(GenMix::TwoGen);
         assert_eq!(
             mixed.id(),
-            "testbed50-g2gen-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-q0-s7"
+            "testbed50-g2gen-a8-x2-n0.4-f0.4-l20-e0-b0-h0-d0-y0-c0x0-j0-w0-p0x0-o0-q0-s7"
         );
     }
 

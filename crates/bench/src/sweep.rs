@@ -12,6 +12,7 @@ use crate::report::{CellMetrics, CellReport, SweepReport};
 use crate::scenarios::{Matrix, Scenario};
 use std::time::Instant;
 use themis_sim::batch::run_batch;
+use themis_sim::metrics::SimReport;
 
 /// Runs every cell of `matrix`, at most `jobs` concurrently.
 pub fn run_sweep(matrix: &Matrix, jobs: usize) -> SweepReport {
@@ -53,6 +54,64 @@ pub fn run_cell(scenario: &Scenario, policy: Policy) -> CellReport {
         metrics: CellMetrics::from_report(&report),
         wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
     }
+}
+
+/// The verdict of the record→replay gate on one distributed-mode cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayGateOutcome {
+    /// `"<scenario id>/<policy>"` of the gated cell.
+    pub id: String,
+    /// Transport decisions the recorded run transcribed.
+    pub records: usize,
+    /// The transcript in its stable text form (for artifact upload).
+    pub log_text: String,
+    /// Whether the replayed run reproduced the recorded canonical report
+    /// byte for byte.
+    pub matched: bool,
+}
+
+/// Renders one cell's run as a canonical single-cell sweep document —
+/// the byte string the replay gate compares.
+fn canonical_cell(matrix: &str, scenario: &Scenario, policy: Policy, report: &SimReport) -> String {
+    SweepReport {
+        matrix: matrix.to_string(),
+        cells: vec![CellReport {
+            id: format!("{}/{}", scenario.id(), policy.name()),
+            policy: policy.name().to_string(),
+            scenario: scenario.clone(),
+            metrics: CellMetrics::from_report(report),
+            wall_clock_ms: 0.0,
+        }],
+        total_wall_clock_ms: 0.0,
+    }
+    .to_canonical_string()
+}
+
+/// Runs the record→replay determinism gate over every distributed-mode
+/// cell of `matrix`: each cell runs once with a transcript attached, is
+/// re-executed from the transcript alone (the fault RNG never consulted),
+/// and the two canonical single-cell documents are byte-compared. One
+/// outcome per distributed cell, in matrix order; non-distributed
+/// policies have no transport and are skipped.
+pub fn run_replay_gate(matrix: &Matrix) -> Vec<ReplayGateOutcome> {
+    matrix
+        .cells()
+        .into_iter()
+        .filter(|(_, policy)| policy.is_distributed())
+        .map(|(scenario, policy)| {
+            let (recorded, log) = scenario.run_recorded(policy);
+            let records = log.len();
+            let log_text = log.to_text();
+            let replayed = scenario.run_replayed(policy, log);
+            ReplayGateOutcome {
+                id: format!("{}/{}", scenario.id(), policy.name()),
+                records,
+                log_text,
+                matched: canonical_cell(&matrix.name, &scenario, policy, &replayed)
+                    == canonical_cell(&matrix.name, &scenario, policy, &recorded),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,5 +160,25 @@ mod tests {
         let serial = run_sweep(&matrix, 1);
         let parallel = run_sweep(&matrix, 3);
         assert_eq!(serial.to_canonical_string(), parallel.to_canonical_string());
+    }
+
+    #[test]
+    fn replay_gate_covers_only_distributed_cells_and_passes() {
+        use themis_cluster::time::Time;
+        use themis_protocol::transport::FaultConfig;
+        let matrix = Matrix {
+            policies: vec![Policy::themis_default(), Policy::themis_dist_default()],
+            faults: vec![FaultConfig::reliable()
+                .with_drop_probability(0.2)
+                .with_delay(Time::seconds(2.0))],
+            ..Matrix::point("gate", ClusterKind::Rack16, 3, 7)
+        };
+        let outcomes = run_replay_gate(&matrix);
+        assert_eq!(outcomes.len(), 1, "only the distributed cell is gated");
+        let outcome = &outcomes[0];
+        assert!(outcome.id.ends_with("/themis-dist"), "{}", outcome.id);
+        assert!(outcome.matched, "replay diverged on {}", outcome.id);
+        assert!(outcome.records > 0);
+        assert!(outcome.log_text.starts_with("themis-msglog v1"));
     }
 }

@@ -19,11 +19,17 @@
 //! * [`scheduler`] — [`scheduler::ThemisScheduler`], which plugs the whole
 //!   thing into the `themis-sim` engine so it can be compared head-to-head
 //!   with the baselines,
-//! * [`runtime`] — [`runtime::DistributedThemisScheduler`], the same
-//!   policy running every auction round as the paper's five-step message
-//!   exchange over `themis-protocol`'s fault-injecting transport (§3.1,
-//!   §7), with a bid deadline so silent Agents miss rounds instead of
-//!   stalling them,
+//! * [`actors`] — [`actors::DistributedThemisScheduler`], the same policy
+//!   running every auction round as the paper's five-step message exchange
+//!   (§3.1, §7) between an Arbiter actor and per-app Agent actors on a
+//!   causal, fault-injecting [`themis_protocol::network::Network`]: rounds
+//!   overlap in simulated time, phase deadlines bound slow Agents, and
+//!   every transport decision can be recorded and replayed
+//!   byte-identically,
+//! * [`runtime`] — [`runtime::InstantDistributedScheduler`], the legacy
+//!   instant-round message-exchange path (`themis-dist-instant`), kept as
+//!   a baseline that must agree with the actor runtime under zero-latency
+//!   reliable links,
 //! * [`config`] — the tunables the paper studies: the fairness knob `f`,
 //!   the lease duration, and bid-valuation error injection.
 //!
@@ -45,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod actors;
 pub mod agent;
 pub mod arbiter;
 pub mod auction;
@@ -55,12 +62,13 @@ pub mod scheduler;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::actors::DistributedThemisScheduler;
     pub use crate::agent::Agent;
     pub use crate::arbiter::{Arbiter, AuctionOutcome};
     pub use crate::auction::{partial_allocation, AuctionResult, SolverKind};
     pub use crate::config::ThemisConfig;
     pub use crate::rho::{estimate_rho, RhoEstimate};
-    pub use crate::runtime::{DistStats, DistributedThemisScheduler};
+    pub use crate::runtime::{DistStats, InstantDistributedScheduler};
     pub use crate::scheduler::ThemisScheduler;
 }
 

@@ -1,5 +1,15 @@
-//! Message-driven distributed-mode Themis: the full §3.1 auction round
-//! over the fault-injecting transport.
+//! The legacy *instant-round* distributed-mode Themis: the full §3.1
+//! auction round over the fault-injecting transport, resolved at one
+//! engine instant.
+//!
+//! This is the predecessor of the event-driven
+//! [`actors::DistributedThemisScheduler`](crate::actors) runtime, kept as
+//! `themis-dist-instant` both as a baseline and as a cross-check: under
+//! zero-latency reliable links the two paths must agree decision-for-
+//! decision (pinned in `tests/dist_equivalence.rs`). Unlike the actor
+//! runtime, rounds here cannot overlap in simulated time and the
+//! partition / jitter / bandwidth / failover fault axes are not
+//! expressible.
 //!
 //! [`ThemisScheduler`](crate::scheduler::ThemisScheduler) calls the Arbiter
 //! and the per-app Agents as plain Rust objects. This module instead runs
@@ -70,6 +80,9 @@ pub struct DistStats {
     pub stale_messages: u64,
     /// Agent-rounds spent crashed.
     pub crashed_agent_rounds: u64,
+    /// Arbiter failovers (actor runtime only): the standby Arbiter took
+    /// over, voiding every in-flight Win notification.
+    pub failovers: u64,
 }
 
 /// The Agent process: reacts to Arbiter messages arriving on its endpoint.
@@ -133,7 +146,7 @@ impl AgentNode {
 
 /// The Themis cross-app scheduler running each auction round as a message
 /// exchange over fault-injecting transport (see the module docs).
-pub struct DistributedThemisScheduler {
+pub struct InstantDistributedScheduler {
     config: ThemisConfig,
     fault: FaultConfig,
     bid_deadline: Time,
@@ -147,9 +160,9 @@ pub struct DistributedThemisScheduler {
     stats: DistStats,
 }
 
-impl std::fmt::Debug for DistributedThemisScheduler {
+impl std::fmt::Debug for InstantDistributedScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DistributedThemisScheduler")
+        f.debug_struct("InstantDistributedScheduler")
             .field("config", &self.config)
             .field("fault", &self.fault)
             .field("round", &self.round)
@@ -158,13 +171,13 @@ impl std::fmt::Debug for DistributedThemisScheduler {
     }
 }
 
-impl DistributedThemisScheduler {
+impl InstantDistributedScheduler {
     /// Creates a distributed-mode scheduler with the given Themis tunables
     /// and per-link fault injection. `FaultConfig::reliable()` reproduces
     /// the in-process [`ThemisScheduler`](crate::scheduler::ThemisScheduler)
     /// exactly.
     pub fn new(config: ThemisConfig, fault: FaultConfig) -> Self {
-        DistributedThemisScheduler {
+        InstantDistributedScheduler {
             arbiter: Arbiter::new(config),
             fault,
             bid_deadline: Time::seconds(30.0),
@@ -282,9 +295,9 @@ impl DistributedThemisScheduler {
     }
 }
 
-impl Scheduler for DistributedThemisScheduler {
+impl Scheduler for InstantDistributedScheduler {
     fn name(&self) -> &'static str {
-        "themis-dist"
+        "themis-dist-instant"
     }
 
     fn schedule(
@@ -476,7 +489,7 @@ mod tests {
         let (cluster, apps) = world(3);
         let config = ThemisConfig::default().with_seed(7);
         let mut in_process = ThemisScheduler::new(config);
-        let mut dist = DistributedThemisScheduler::new(config, FaultConfig::reliable());
+        let mut dist = InstantDistributedScheduler::new(config, FaultConfig::reliable());
         let now = Time::minutes(5.0);
         let a = in_process.schedule(now, &cluster, &apps);
         let b = dist.schedule(now, &cluster, &apps);
@@ -494,7 +507,7 @@ mod tests {
         // deadline, so the auction proceeds.
         let (cluster, apps) = world(2);
         let config = ThemisConfig::default();
-        let mut dist = DistributedThemisScheduler::new(
+        let mut dist = InstantDistributedScheduler::new(
             config,
             FaultConfig::reliable().with_delay(Time::seconds(10.0)),
         );
@@ -506,7 +519,7 @@ mod tests {
 
         // One-way delay of 20 s: replies land at +40 s, after the deadline.
         // Every Agent misses the round; nothing is granted, nothing wedges.
-        let mut slow = DistributedThemisScheduler::new(
+        let mut slow = InstantDistributedScheduler::new(
             config,
             FaultConfig::reliable().with_delay(Time::seconds(20.0)),
         );
@@ -524,7 +537,7 @@ mod tests {
     #[test]
     fn fully_lossy_link_never_wedges_a_round() {
         let (cluster, apps) = world(2);
-        let mut dist = DistributedThemisScheduler::new(
+        let mut dist = InstantDistributedScheduler::new(
             ThemisConfig::default(),
             FaultConfig::reliable().with_drop_probability(1.0),
         );
@@ -540,7 +553,7 @@ mod tests {
     fn crash_schedule_takes_one_agent_offline_round_robin() {
         let (cluster, apps) = world(2);
         // Every round, one agent crashes for exactly that round.
-        let mut dist = DistributedThemisScheduler::new(
+        let mut dist = InstantDistributedScheduler::new(
             ThemisConfig::default(),
             FaultConfig::reliable().with_crash(1, 1),
         );
@@ -557,7 +570,7 @@ mod tests {
     fn lease_notices_flow_to_agents() {
         let (mut cluster, apps) = world(1);
         let mut dist =
-            DistributedThemisScheduler::new(ThemisConfig::default(), FaultConfig::reliable());
+            InstantDistributedScheduler::new(ThemisConfig::default(), FaultConfig::reliable());
         let d = dist.schedule(Time::minutes(1.0), &cluster, &apps);
         // Apply the decisions with a short lease, then expire it.
         for decision in &d {

@@ -19,21 +19,32 @@
 //! * [`transport`] — a [`transport::Transport`] trait plus an in-memory
 //!   duplex channel implementation with optional fault injection (message
 //!   drop and delay), in the spirit of the fault-injection hooks the
-//!   networking guides recommend for protocol testing.
+//!   networking guides recommend for protocol testing,
+//! * [`actor`] / [`network`] / [`log`] — the event-driven actor runtime:
+//!   actor identities and deterministic timers, a causal [`network::Network`]
+//!   with per-link latency/jitter/bandwidth and partition modelling, and the
+//!   [`log::MessageLog`] record/replay transcript that makes every
+//!   distributed run byte-reproducible.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod actor;
 pub mod bid;
+pub mod log;
 pub mod messages;
+pub mod network;
 pub mod transport;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::actor::{ActorId, TimerWheel};
     pub use crate::bid::{BidEntry, BidTable};
+    pub use crate::log::{LogRecord, MessageLog, ReplayCursor, SendFate};
     pub use crate::messages::{
         AgentToArbiter, ArbiterToAgent, OfferMsg, RhoReport, WinNotification,
     };
+    pub use crate::network::{LogMode, NetMsg, NetStats, Network};
     pub use crate::transport::{Endpoint, FaultConfig, InMemoryLink, Transport, TransportError};
 }
 

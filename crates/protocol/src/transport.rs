@@ -66,8 +66,11 @@ pub trait Transport<S, R> {
 /// The link itself interprets `drop_probability`, `delay` and `seed`. The
 /// crash fields describe a *process* fault rather than a link fault: they
 /// are ignored by [`InMemoryLink`] and interpreted by the distributed
-/// runtime (`themis_core::runtime`), which takes an Agent offline for
+/// runtime (`themis_core`), which takes an Agent offline for
 /// `crash_rounds` consecutive auction rounds every `crash_period` rounds.
+/// The jitter / bandwidth / partition / failover fields are interpreted by
+/// the actor-based [`Network`](crate::network::Network) runtime and the
+/// actor scheduler built on it; the legacy [`InMemoryLink`] ignores them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Probability in `[0, 1]` that a sent message is silently dropped.
@@ -81,6 +84,24 @@ pub struct FaultConfig {
     pub crash_period: u64,
     /// How many consecutive rounds a crashed Agent stays silent.
     pub crash_rounds: u64,
+    /// Extra per-message delivery delay drawn uniformly from
+    /// `[0, jitter]`. Non-zero jitter reorders messages on a link.
+    pub jitter: Time,
+    /// Link bandwidth in message size-units per minute. Messages serialize
+    /// on a link: a message starts transfer only when the previous one on
+    /// the same directed link finished. `0.0` means infinite bandwidth.
+    pub bandwidth: f64,
+    /// Every `partition_period`-th auction round the cluster splits: the
+    /// upper half of the Agents (by app id) is cut off from the Arbiter
+    /// for `partition_rounds` rounds, then the partition heals. `0`
+    /// disables partitions.
+    pub partition_period: u64,
+    /// How many consecutive rounds a partition lasts.
+    pub partition_rounds: u64,
+    /// Every `failover_period`-th auction round the Arbiter crashes and a
+    /// standby takes over with no memory of in-flight Wins (which are
+    /// voided, never leaked). `0` disables failover injection.
+    pub failover_period: u64,
 }
 
 /// The default is [`FaultConfig::reliable`]: no drops, zero latency, no
@@ -93,6 +114,11 @@ impl Default for FaultConfig {
             seed: 0,
             crash_period: 0,
             crash_rounds: 0,
+            jitter: Time::ZERO,
+            bandwidth: 0.0,
+            partition_period: 0,
+            partition_rounds: 0,
+            failover_period: 0,
         }
     }
 }
@@ -122,12 +148,17 @@ impl FaultConfig {
     }
 
     /// `true` when this configuration injects no fault of any kind. A
-    /// crash schedule needs both a period and a duration; either being
-    /// zero disables it.
+    /// crash or partition schedule needs both a period and a duration;
+    /// either being zero disables it. Finite bandwidth counts as a fault:
+    /// it serializes messages and so perturbs delivery times.
     pub fn is_reliable(&self) -> bool {
         self.drop_probability == 0.0
             && self.delay == Time::ZERO
+            && self.jitter == Time::ZERO
+            && self.bandwidth == 0.0
             && (self.crash_period == 0 || self.crash_rounds == 0)
+            && (self.partition_period == 0 || self.partition_rounds == 0)
+            && self.failover_period == 0
     }
 
     /// Sets the message-drop probability.
@@ -165,6 +196,41 @@ impl FaultConfig {
     pub fn with_crash(mut self, period: u64, rounds: u64) -> Self {
         self.crash_period = period;
         self.crash_rounds = rounds;
+        self
+    }
+
+    /// Sets the per-message delivery jitter (uniform in `[0, jitter]`).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Time) -> Self {
+        assert!(jitter >= Time::ZERO, "jitter must be non-negative");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the link bandwidth in size-units per minute (`0.0` = infinite).
+    #[must_use]
+    pub fn with_bandwidth(mut self, bandwidth: f64) -> Self {
+        assert!(
+            bandwidth >= 0.0 && bandwidth.is_finite(),
+            "bandwidth must be finite and non-negative"
+        );
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Enables partition injection: every `period`-th round the upper half
+    /// of the Agents is cut off from the Arbiter for `rounds` rounds.
+    #[must_use]
+    pub fn with_partition(mut self, period: u64, rounds: u64) -> Self {
+        self.partition_period = period;
+        self.partition_rounds = rounds;
+        self
+    }
+
+    /// Enables Arbiter failover injection every `period`-th round.
+    #[must_use]
+    pub fn with_failover(mut self, period: u64) -> Self {
+        self.failover_period = period;
         self
     }
 }
@@ -252,7 +318,12 @@ impl<S, R> Transport<S, R> for Endpoint<S, R> {
                 Ok(msg)
             }
             None => {
-                if q.open {
+                // A closed link still owes the receiver its in-flight
+                // (delayed) messages: report `Empty` until the queue is
+                // actually drained, and only then `Disconnected`. Without
+                // the emptiness check a peer that dropped right after
+                // sending would make those messages unreachable.
+                if q.open || !q.messages.is_empty() {
                     Err(TransportError::Empty)
                 } else {
                     Err(TransportError::Disconnected)
@@ -431,6 +502,56 @@ mod tests {
         // injects nothing and is therefore still reliable.
         assert!(FaultConfig::reliable().with_crash(5, 0).is_reliable());
         assert!(FaultConfig::reliable().with_crash(0, 3).is_reliable());
+    }
+
+    #[test]
+    fn actor_fault_builders_compose() {
+        let fault = FaultConfig::reliable()
+            .with_jitter(Time::seconds(6.0))
+            .with_bandwidth(120.0)
+            .with_partition(4, 2)
+            .with_failover(6);
+        assert_eq!(fault.jitter, Time::seconds(6.0));
+        assert_eq!(fault.bandwidth, 120.0);
+        assert_eq!((fault.partition_period, fault.partition_rounds), (4, 2));
+        assert_eq!(fault.failover_period, 6);
+        assert!(!fault.is_reliable());
+        // Each axis alone already makes the config faulty…
+        assert!(!FaultConfig::reliable()
+            .with_jitter(Time::seconds(1.0))
+            .is_reliable());
+        assert!(!FaultConfig::reliable().with_bandwidth(10.0).is_reliable());
+        assert!(!FaultConfig::reliable().with_partition(3, 1).is_reliable());
+        assert!(!FaultConfig::reliable().with_failover(5).is_reliable());
+        // …but a degenerate partition schedule injects nothing.
+        assert!(FaultConfig::reliable().with_partition(3, 0).is_reliable());
+        assert!(FaultConfig::reliable().with_partition(0, 2).is_reliable());
+    }
+
+    #[test]
+    fn closed_endpoint_drains_delayed_messages_before_disconnecting() {
+        // The peer sends two delayed messages, then goes away. The receiver
+        // must still observe both once their delays elapse — "nothing
+        // visible *yet*" is `Empty`, not `Disconnected`, while in-flight
+        // messages remain queued.
+        let (a, b) = InMemoryLink::pair::<u32, u32>(
+            FaultConfig::delayed(Time::minutes(5.0)),
+            FaultConfig::reliable(),
+        );
+        a.send(Time::ZERO, 1).unwrap();
+        a.send(Time::minutes(1.0), 2).unwrap();
+        a.close();
+        // Before the first delay elapses: empty, NOT disconnected.
+        assert_eq!(b.try_recv(Time::minutes(2.0)), Err(TransportError::Empty));
+        // The first message becomes visible; the second is still in flight.
+        assert_eq!(b.try_recv(Time::minutes(5.0)).unwrap(), 1);
+        assert_eq!(b.try_recv(Time::minutes(5.0)), Err(TransportError::Empty));
+        // Drain the second, and only then report the disconnect.
+        assert_eq!(b.try_recv(Time::minutes(6.0)).unwrap(), 2);
+        assert_eq!(
+            b.try_recv(Time::minutes(6.0)),
+            Err(TransportError::Disconnected)
+        );
     }
 
     #[test]

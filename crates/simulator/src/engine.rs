@@ -112,6 +112,9 @@ pub struct Engine<S: Scheduler> {
     scheduled_finish: BTreeMap<(AppId, JobId), Time>,
     /// A retry event is already queued (at most one outstanding).
     retry_pending: bool,
+    /// Times with a scheduler-requested wakeup already queued, so repeated
+    /// `next_wakeup` answers do not flood the queue with duplicates.
+    pending_wakeups: BTreeSet<Time>,
     /// Consecutive rounds that granted nothing while demand existed; drives
     /// the exponential retry backoff.
     idle_retries: u32,
@@ -148,6 +151,7 @@ impl<S: Scheduler> Engine<S> {
             scheduling_rounds: 0,
             scheduled_finish: BTreeMap::new(),
             retry_pending: false,
+            pending_wakeups: BTreeSet::new(),
             idle_retries: 0,
         }
     }
@@ -191,6 +195,9 @@ impl<S: Scheduler> Engine<S> {
             }
             if event.kind == EventKind::Retry {
                 self.retry_pending = false;
+            }
+            if event.kind == EventKind::Wakeup {
+                self.pending_wakeups.remove(&event.time);
             }
             self.advance_to(event.time);
             self.process_round();
@@ -435,6 +442,16 @@ impl<S: Scheduler> Engine<S> {
                 }
             }
         }
+
+        // 6. An actor-based scheduler may have a message delivery or a
+        //    protocol timer due at a time no workload event lands on; queue
+        //    a wakeup so the actor runtime is driven there (deduplicated
+        //    per timestamp).
+        if let Some(wake) = self.scheduler.next_wakeup() {
+            if wake > now && self.pending_wakeups.insert(wake) {
+                self.events.push(wake, EventKind::Wakeup);
+            }
+        }
     }
 }
 
@@ -654,6 +671,55 @@ mod tests {
         );
         assert_eq!(with_retry.unfinished_apps(), 1);
         assert!(with_retry.end_time <= Time::minutes(10_000.0) + Time::minutes(1e-6));
+    }
+
+    /// A scheduler that grants nothing but asks to be woken one minute
+    /// after every round until a horizon — stands in for an actor runtime
+    /// with pending message deliveries.
+    struct WakeupProbe {
+        last: Time,
+        until: Time,
+    }
+
+    impl Scheduler for WakeupProbe {
+        fn name(&self) -> &'static str {
+            "wakeup-probe"
+        }
+
+        fn schedule(
+            &mut self,
+            now: Time,
+            _cluster: &Cluster,
+            _apps: &AppArena,
+        ) -> Vec<AllocationDecision> {
+            self.last = now;
+            Vec::new()
+        }
+
+        fn next_wakeup(&self) -> Option<Time> {
+            (self.last < self.until).then(|| self.last + Time::minutes(1.0))
+        }
+    }
+
+    #[test]
+    fn scheduler_wakeups_drive_extra_rounds() {
+        let cluster = Cluster::new(ClusterSpec::homogeneous(1, 1, 4));
+        let trace = vec![single_job_app(0, 0.0, 1e9, 1)];
+        let report = Engine::new(
+            cluster,
+            trace,
+            WakeupProbe {
+                last: Time::minutes(-1.0),
+                until: Time::minutes(10.0),
+            },
+            SimConfig::default().with_max_sim_time(Time::minutes(10_000.0)),
+        )
+        .run();
+        // The arrival round at t=0 plus one wakeup-driven round per minute
+        // through t=10; after that `next_wakeup` returns `None` and the
+        // queue drains instead of looping forever.
+        assert_eq!(report.scheduling_rounds, 11);
+        assert_eq!(report.end_time, Time::minutes(10.0));
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum EventKind {
     /// distributed-mode schedulers need it so a round lost to message
     /// faults is re-attempted instead of wedging the event queue.
     Retry,
+    /// A wakeup requested by the scheduler itself via
+    /// [`Scheduler::next_wakeup`](crate::scheduler::Scheduler::next_wakeup):
+    /// a message delivery or protocol timer is due at this time and the
+    /// actor runtime needs a scheduling call to process it. The engine
+    /// deduplicates wakeups per timestamp.
+    Wakeup,
 }
 
 /// A timestamped event.

@@ -46,6 +46,16 @@ pub trait Scheduler {
         cluster: &Cluster,
         apps: &AppArena,
     ) -> Vec<AllocationDecision>;
+
+    /// The next simulated time at which this scheduler has internal work
+    /// pending — a message delivery or a protocol timer for the actor-based
+    /// distributed mode. The engine queries this after every round and
+    /// enqueues a [`Wakeup`](crate::events::EventKind::Wakeup) event so the
+    /// work is processed even when no workload event lands on that time.
+    /// Purely event-driven policies (the default) have none.
+    fn next_wakeup(&self) -> Option<Time> {
+        None
+    }
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -60,6 +70,10 @@ impl Scheduler for Box<dyn Scheduler> {
         apps: &AppArena,
     ) -> Vec<AllocationDecision> {
         (**self).schedule(now, cluster, apps)
+    }
+
+    fn next_wakeup(&self) -> Option<Time> {
+        (**self).next_wakeup()
     }
 }
 
