@@ -29,7 +29,7 @@
 //! `--log-out DIR` each cell's transcript is written to
 //! `DIR/<scenario id>.msglog` (the CI artifact).
 
-use themis_bench::perf::{compare_perf, PerfReport};
+use themis_bench::perf::{compare_perf, delta_markdown, PerfReport};
 use themis_bench::policies::Policy;
 use themis_bench::report::{compare_reports, SweepReport};
 use themis_bench::scenarios::Matrix;
@@ -39,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--matrix NAME[,NAME..]] [--policy A,B,..] [--jobs N] [--out FILE]\n\
          \x20            [--check BASELINE] [--tolerance T] [--timings] [--bench] [--list]\n\
-         \x20            [--replay-gate] [--log-out DIR]\n\
+         \x20            [--replay-gate] [--log-out DIR] [--summary-out FILE]\n\
          known matrices: {}\n\
          known policies: {}",
         Matrix::NAMED.join(", "),
@@ -102,6 +102,7 @@ fn main() {
     let mut list = false;
     let mut replay_gate = false;
     let mut log_out: Option<String> = None;
+    let mut summary_out: Option<String> = None;
 
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -150,6 +151,7 @@ fn main() {
             "--list" => list = true,
             "--replay-gate" => replay_gate = true,
             "--log-out" => log_out = Some(arg_value(&mut iter, "--log-out")),
+            "--summary-out" => summary_out = Some(arg_value(&mut iter, "--summary-out")),
             _ => {
                 eprintln!("error: unknown argument '{arg}'");
                 usage();
@@ -173,6 +175,11 @@ fn main() {
             );
         }
         return;
+    }
+
+    if summary_out.is_some() && !bench {
+        eprintln!("error: --summary-out needs --bench (it tables perf wall-clock deltas)");
+        usage();
     }
 
     let matrix_names: Vec<&str> = matrix_spec.split(',').filter(|s| !s.is_empty()).collect();
@@ -246,12 +253,27 @@ fn main() {
             eprintln!("{line}");
         }
         write_or_print(&out, &perf.to_pretty_string());
-        if let Some(baseline_path) = check {
-            let baseline =
-                PerfReport::parse_str(&read_baseline(&baseline_path)).unwrap_or_else(|e| {
-                    eprintln!("error: cannot parse perf baseline {baseline_path}: {e}");
-                    std::process::exit(2);
-                });
+        let baseline = check.as_ref().map(|baseline_path| {
+            PerfReport::parse_str(&read_baseline(baseline_path)).unwrap_or_else(|e| {
+                eprintln!("error: cannot parse perf baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            })
+        });
+        if let Some(path) = &summary_out {
+            // The markdown wall-clock delta table (advisory; CI appends it
+            // to $GITHUB_STEP_SUMMARY). Without --check there is no
+            // baseline, so every delta renders n/a.
+            let empty = PerfReport {
+                matrices: Vec::new(),
+            };
+            let table = delta_markdown(&perf, baseline.as_ref().unwrap_or(&empty));
+            if let Err(e) = std::fs::write(path, table) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+        if let (Some(baseline_path), Some(baseline)) = (check, baseline) {
             let diffs = compare_perf(&perf, &baseline, tolerance);
             if diffs.is_empty() {
                 eprintln!(

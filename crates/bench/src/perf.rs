@@ -105,6 +105,51 @@ impl PerfReport {
     }
 }
 
+/// Renders a GitHub-flavored markdown table of per-matrix wall-clock
+/// deltas between a fresh perf run and a committed baseline, for CI's
+/// `$GITHUB_STEP_SUMMARY`. Purely advisory — the numbers come from
+/// different machines and never gate anything; the table exists so a
+/// hot-path regression is visible on the PR page without downloading the
+/// artifact. Matrices are matched by name; a matrix absent from the
+/// baseline shows `n/a`.
+pub fn delta_markdown(current: &PerfReport, baseline: &PerfReport) -> String {
+    let mut out = String::from(
+        "### Perf wall-clock vs committed baseline (advisory)\n\n\
+         | matrix | cells | total ms | baseline ms | delta | slowest cell |\n\
+         | --- | ---: | ---: | ---: | ---: | --- |\n",
+    );
+    for matrix in &current.matrices {
+        let base = baseline.matrices.iter().find(|b| b.matrix == matrix.matrix);
+        let (base_ms, delta) = match base {
+            Some(b) if b.total_wall_clock_ms > 0.0 => {
+                let pct = 100.0 * (matrix.total_wall_clock_ms - b.total_wall_clock_ms)
+                    / b.total_wall_clock_ms;
+                (
+                    format!("{:.0}", b.total_wall_clock_ms),
+                    format!("{pct:+.1}%"),
+                )
+            }
+            _ => ("n/a".to_string(), "n/a".to_string()),
+        };
+        let slowest = matrix
+            .cells
+            .iter()
+            .max_by(|a, b| a.wall_clock_ms.total_cmp(&b.wall_clock_ms))
+            .map(|c| format!("`{}` ({:.0} ms)", c.id, c.wall_clock_ms))
+            .unwrap_or_else(|| "—".to_string());
+        out.push_str(&format!(
+            "| {} | {} | {:.0} | {} | {} | {} |\n",
+            matrix.matrix,
+            matrix.cells.len(),
+            matrix.total_wall_clock_ms,
+            base_ms,
+            delta,
+            slowest
+        ));
+    }
+    out
+}
+
 /// Compares a fresh perf run against a committed baseline, **metrics
 /// only** — wall-clock never fails the gate. Matrices are matched by name;
 /// a baseline matrix absent from the current run is skipped (CI may run a
@@ -191,6 +236,22 @@ mod tests {
         let diffs = compare_perf(&both, &only_first, 1e-9);
         assert_eq!(diffs.len(), 1);
         assert!(diffs[0].contains("'other'"));
+    }
+
+    #[test]
+    fn delta_markdown_tables_matched_and_unmatched_matrices() {
+        let baseline = tiny_perf();
+        let mut current = baseline.clone();
+        current.matrices[0].total_wall_clock_ms = baseline.matrices[0].total_wall_clock_ms * 2.0;
+        let table = delta_markdown(&current, &baseline);
+        assert!(table.starts_with("### Perf wall-clock"), "{table}");
+        assert!(table.contains("| tiny |"), "{table}");
+        assert!(table.contains("+100.0%"), "{table}");
+        // A matrix the baseline has never seen renders n/a, not a panic.
+        current.matrices[0].matrix = "brand-new".into();
+        let table = delta_markdown(&current, &baseline);
+        assert!(table.contains("| brand-new |"), "{table}");
+        assert!(table.contains("n/a"), "{table}");
     }
 
     #[test]

@@ -10,18 +10,161 @@
 //! [`SweepReport::to_json`]`(true)` or the `sweep --timings` flag.
 
 use crate::json::Json;
-use crate::scenarios::{ClusterKind, GenMix, Scenario};
+use crate::scenarios::{ClusterKind, GenMix, Scenario, ServiceAxis, ServiceShape};
 use themis_cluster::time::Time;
 use themis_protocol::transport::FaultConfig;
 use themis_sim::metrics::SimReport;
+use themis_sim::service::ServiceReport;
 
 /// Version stamp of the JSON schema, bumped on incompatible change so a
 /// stale baseline fails loudly instead of diffing nonsense.
 /// v2 added the scenario's transport-fault axis (`fault_*` fields); v3
 /// added the GPU-generation heterogeneity axis (`gen_mix` plus the derived
 /// per-cell `speed_*` metadata); v4 added the actor-transport fault axes
-/// (jitter, bandwidth, partitions, Arbiter failover).
-pub const SCHEMA_VERSION: f64 = 4.0;
+/// (jitter, bandwidth, partitions, Arbiter failover); v5 added the
+/// open-system service axis (`service_*` scenario fields and the windowed
+/// `service` metrics block, both present only on service-mode cells — a
+/// closed-system cell's JSON is byte-identical to v4 apart from the
+/// version stamp).
+pub const SCHEMA_VERSION: f64 = 5.0;
+
+/// The windowed open-system metrics of one service-mode cell, extracted
+/// from the final [`ServiceReport`] snapshot. Deterministic for pinned
+/// seeds, so the service baseline gates them exactly alongside the batch
+/// metric set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Median finish-time fairness ρ over the final rolling window.
+    pub p50_rho: Option<f64>,
+    /// 99th-percentile ρ over the final rolling window.
+    pub p99_rho: Option<f64>,
+    /// Median queueing delay (arrival → first grant), minutes.
+    pub p50_queueing_minutes: Option<f64>,
+    /// 99th-percentile queueing delay, minutes.
+    pub p99_queueing_minutes: Option<f64>,
+    /// 99th-percentile lease-renewal latency (shrink → re-grant), minutes.
+    pub p99_renewal_minutes: Option<f64>,
+    /// Starvation audit: most consecutive zero-GPU rounds any schedulable
+    /// app sat through after warmup.
+    pub max_queue_rounds: u64,
+    /// Apps admitted over the run.
+    pub admitted: u64,
+    /// Apps retired (finished and removed) over the run.
+    pub retired: u64,
+    /// When steady state was declared, in simulated minutes (absent if the
+    /// run never converged).
+    pub steady_state_minutes: Option<f64>,
+    /// Rounds that invoked the scheduling policy.
+    pub auctions_run: u64,
+    /// Rounds the incremental hot path skipped the policy call on.
+    pub auctions_skipped: u64,
+}
+
+impl ServiceMetrics {
+    /// Extracts the windowed metric set from a finished service run.
+    pub fn from_report(report: &ServiceReport) -> ServiceMetrics {
+        ServiceMetrics {
+            p50_rho: report.windows.p50_rho,
+            p99_rho: report.windows.p99_rho,
+            p50_queueing_minutes: report.windows.p50_queueing_minutes,
+            p99_queueing_minutes: report.windows.p99_queueing_minutes,
+            p99_renewal_minutes: report.windows.p99_renewal_minutes,
+            max_queue_rounds: report.windows.max_queue_rounds,
+            admitted: report.admitted,
+            retired: report.retired,
+            steady_state_minutes: report.steady_state_at.map(|t| t.as_minutes()),
+            auctions_run: report.auctions_run,
+            auctions_skipped: report.auctions_skipped,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("p50_rho".into(), Json::opt_num(self.p50_rho)),
+            ("p99_rho".into(), Json::opt_num(self.p99_rho)),
+            (
+                "p50_queueing_minutes".into(),
+                Json::opt_num(self.p50_queueing_minutes),
+            ),
+            (
+                "p99_queueing_minutes".into(),
+                Json::opt_num(self.p99_queueing_minutes),
+            ),
+            (
+                "p99_renewal_minutes".into(),
+                Json::opt_num(self.p99_renewal_minutes),
+            ),
+            (
+                "max_queue_rounds".into(),
+                Json::num(self.max_queue_rounds as f64),
+            ),
+            ("admitted".into(), Json::num(self.admitted as f64)),
+            ("retired".into(), Json::num(self.retired as f64)),
+            (
+                "steady_state_minutes".into(),
+                Json::opt_num(self.steady_state_minutes),
+            ),
+            ("auctions_run".into(), Json::num(self.auctions_run as f64)),
+            (
+                "auctions_skipped".into(),
+                Json::num(self.auctions_skipped as f64),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<ServiceMetrics, String> {
+        let req = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("service metrics missing numeric field '{key}'"))
+        };
+        let opt = |key: &str| value.get(key).and_then(Json::as_opt_f64);
+        Ok(ServiceMetrics {
+            p50_rho: opt("p50_rho"),
+            p99_rho: opt("p99_rho"),
+            p50_queueing_minutes: opt("p50_queueing_minutes"),
+            p99_queueing_minutes: opt("p99_queueing_minutes"),
+            p99_renewal_minutes: opt("p99_renewal_minutes"),
+            max_queue_rounds: req("max_queue_rounds")? as u64,
+            admitted: req("admitted")? as u64,
+            retired: req("retired")? as u64,
+            steady_state_minutes: opt("steady_state_minutes"),
+            auctions_run: req("auctions_run")? as u64,
+            auctions_skipped: req("auctions_skipped")? as u64,
+        })
+    }
+
+    /// `(name, value)` pairs for diffing, mirroring
+    /// [`CellMetrics::numbered`].
+    fn numbered(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("p50_rho", self.p50_rho.unwrap_or(f64::NAN)),
+            ("p99_rho", self.p99_rho.unwrap_or(f64::NAN)),
+            (
+                "p50_queueing_minutes",
+                self.p50_queueing_minutes.unwrap_or(f64::NAN),
+            ),
+            (
+                "p99_queueing_minutes",
+                self.p99_queueing_minutes.unwrap_or(f64::NAN),
+            ),
+            (
+                "p99_renewal_minutes",
+                self.p99_renewal_minutes.unwrap_or(f64::NAN),
+            ),
+            ("max_queue_rounds", self.max_queue_rounds as f64),
+            ("admitted", self.admitted as f64),
+            ("retired", self.retired as f64),
+            (
+                "steady_state_minutes",
+                self.steady_state_minutes.unwrap_or(f64::NAN),
+            ),
+            ("auctions_run", self.auctions_run as f64),
+            ("auctions_skipped", self.auctions_skipped as f64),
+        ]
+    }
+}
 
 /// The metrics extracted from one simulation run (the paper's §8.1 set).
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +189,9 @@ pub struct CellMetrics {
     pub unfinished_apps: usize,
     /// Scheduling rounds the policy ran.
     pub scheduling_rounds: u64,
+    /// The windowed open-system metrics — present only on service-mode
+    /// cells, so closed-system cells serialize exactly as before.
+    pub service: Option<ServiceMetrics>,
 }
 
 impl CellMetrics {
@@ -62,11 +208,20 @@ impl CellMetrics {
             finished_apps: report.finished_apps(),
             unfinished_apps: report.unfinished_apps(),
             scheduling_rounds: report.scheduling_rounds,
+            service: None,
         }
     }
 
+    /// Extracts the metric set from a finished service run: the batch
+    /// metrics from the embedded [`SimReport`] plus the windowed block.
+    pub fn from_service_report(report: &ServiceReport) -> CellMetrics {
+        let mut metrics = CellMetrics::from_report(&report.sim);
+        metrics.service = Some(ServiceMetrics::from_report(report));
+        metrics
+    }
+
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("max_rho".into(), Json::opt_num(self.max_rho)),
             ("jain".into(), Json::opt_num(self.jain)),
             ("makespan_minutes".into(), Json::num(self.makespan_minutes)),
@@ -89,7 +244,11 @@ impl CellMetrics {
                 "scheduling_rounds".into(),
                 Json::num(self.scheduling_rounds as f64),
             ),
-        ])
+        ];
+        if let Some(service) = &self.service {
+            pairs.push(("service".into(), service.to_json()));
+        }
+        Json::Obj(pairs)
     }
 
     fn from_json(value: &Json) -> Result<CellMetrics, String> {
@@ -111,14 +270,21 @@ impl CellMetrics {
             finished_apps: req("finished_apps")? as usize,
             unfinished_apps: req("unfinished_apps")? as usize,
             scheduling_rounds: req("scheduling_rounds")? as u64,
+            service: value
+                .get("service")
+                .map(ServiceMetrics::from_json)
+                .transpose()?,
         })
     }
 
     /// `(name, value)` pairs of the numeric metrics, for diffing. Absent
     /// optional metrics surface as NaN, which only equals NaN on both sides
-    /// via the explicit check in [`compare_reports`].
+    /// via the explicit check in [`compare_reports`]. The service block's
+    /// entries are always appended (NaN-filled on closed-system cells), so
+    /// a service cell missing its block compares as a divergence rather
+    /// than being silently zipped short.
     fn numbered(&self) -> Vec<(&'static str, f64)> {
-        vec![
+        let mut pairs = vec![
             ("max_rho", self.max_rho.unwrap_or(f64::NAN)),
             ("jain", self.jain.unwrap_or(f64::NAN)),
             ("makespan_minutes", self.makespan_minutes),
@@ -132,7 +298,29 @@ impl CellMetrics {
             ("finished_apps", self.finished_apps as f64),
             ("unfinished_apps", self.unfinished_apps as f64),
             ("scheduling_rounds", self.scheduling_rounds as f64),
-        ]
+        ];
+        match &self.service {
+            Some(service) => pairs.extend(service.numbered()),
+            None => pairs.extend(
+                ServiceMetrics {
+                    p50_rho: None,
+                    p99_rho: None,
+                    p50_queueing_minutes: None,
+                    p99_queueing_minutes: None,
+                    p99_renewal_minutes: None,
+                    max_queue_rounds: 0,
+                    admitted: 0,
+                    retired: 0,
+                    steady_state_minutes: None,
+                    auctions_run: 0,
+                    auctions_skipped: 0,
+                }
+                .numbered()
+                .into_iter()
+                .map(|(name, _)| (name, f64::NAN)),
+            ),
+        }
+        pairs
     }
 }
 
@@ -166,7 +354,7 @@ impl CellReport {
             .collect();
         let speed_min = speeds.iter().copied().fold(f64::INFINITY, f64::min);
         let speed_max = speeds.iter().copied().fold(0.0, f64::max);
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("cluster".into(), Json::str(scenario.cluster.name())),
             ("gen_mix".into(), Json::str(scenario.gen_mix.name())),
             ("speed_total".into(), Json::num(spec.total_speed())),
@@ -228,7 +416,18 @@ impl CellReport {
                 "scheduler_seed".into(),
                 Json::num(scenario.scheduler_seed as f64),
             ),
-        ])
+        ];
+        // Service axis fields only on service-mode cells, keeping every
+        // closed-system scenario object byte-identical to pre-service runs.
+        if let Some(axis) = &scenario.service {
+            pairs.push(("service_shape".into(), Json::str(axis.shape.name())));
+            pairs.push(("service_rate".into(), Json::num(axis.rate)));
+            pairs.push((
+                "service_horizon_minutes".into(),
+                Json::num(axis.horizon_minutes),
+            ));
+        }
+        Json::Obj(pairs)
     }
 
     fn scenario_from_json(value: &Json) -> Result<Scenario, String> {
@@ -305,6 +504,25 @@ impl CellReport {
             },
             seed: req("seed")? as u64,
             scheduler_seed: req("scheduler_seed")? as u64,
+            service: match value.get("service_shape") {
+                None => None,
+                Some(shape) => {
+                    let name = shape
+                        .as_str()
+                        .ok_or("scenario 'service_shape' must be a string")?;
+                    let shape = ServiceShape::parse(name)
+                        .ok_or_else(|| format!("unknown service shape '{name}'"))?;
+                    let rate = req("service_rate")?;
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(format!("service_rate {rate} is not positive"));
+                    }
+                    let horizon = req("service_horizon_minutes")?;
+                    if !(horizon.is_finite() && horizon > 0.0) {
+                        return Err(format!("service_horizon_minutes {horizon} is not positive"));
+                    }
+                    Some(ServiceAxis::new(shape, rate, horizon))
+                }
+            },
         })
     }
 
@@ -317,6 +535,14 @@ impl CellReport {
         ];
         if timings {
             pairs.push(("wall_clock_ms".into(), Json::num(self.wall_clock_ms)));
+            // Round throughput is derived from wall-clock, so it lives with
+            // the advisory timings, never in the canonical form.
+            if self.wall_clock_ms > 0.0 {
+                pairs.push((
+                    "rounds_per_sec".into(),
+                    Json::num(self.metrics.scheduling_rounds as f64 / (self.wall_clock_ms / 1e3)),
+                ));
+            }
         }
         Json::Obj(pairs)
     }
@@ -493,6 +719,7 @@ mod tests {
             finished_apps: 3,
             unfinished_apps: 0,
             scheduling_rounds: 17,
+            service: None,
         };
         SweepReport {
             matrix: "unit".into(),
@@ -552,6 +779,74 @@ mod tests {
             .contains("generation mix"));
     }
 
+    fn service_report() -> SweepReport {
+        let mut report = sample_report();
+        report.cells[0].scenario = report.cells[0]
+            .scenario
+            .clone()
+            .with_service(ServiceAxis::new(ServiceShape::Diurnal, 1.5, 2000.0));
+        report.cells[0].id = format!("{}/themis", report.cells[0].scenario.id());
+        report.cells[0].metrics.service = Some(ServiceMetrics {
+            p50_rho: Some(1.1),
+            p99_rho: Some(2.2),
+            p50_queueing_minutes: Some(3.0),
+            p99_queueing_minutes: Some(40.0),
+            p99_renewal_minutes: None,
+            max_queue_rounds: 7,
+            admitted: 90,
+            retired: 85,
+            steady_state_minutes: Some(900.0),
+            auctions_run: 100,
+            auctions_skipped: 200,
+        });
+        report
+    }
+
+    #[test]
+    fn service_cells_round_trip_and_gate_their_windowed_metrics() {
+        let report = service_report();
+        let text = report.to_canonical_string();
+        assert!(text.contains("\"service_shape\": \"diurnal\""));
+        assert!(text.contains("\"auctions_skipped\": 200"));
+        let back = SweepReport::parse_str(&text).expect("service cell parses");
+        assert_eq!(back.cells[0].scenario, report.cells[0].scenario);
+        assert_eq!(back.cells[0].metrics, report.cells[0].metrics);
+        assert_eq!(back.to_canonical_string(), text, "canonical fixed point");
+
+        // The windowed block is gated like any metric.
+        let mut current = service_report();
+        current.cells[0]
+            .metrics
+            .service
+            .as_mut()
+            .expect("service block present")
+            .max_queue_rounds += 1;
+        let diffs = compare_reports(&current, &report, 1e-9);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("max_queue_rounds"), "{diffs:?}");
+
+        // Dropping the block entirely is a divergence, not a silent pass.
+        current.cells[0].metrics.service = None;
+        assert!(!compare_reports(&current, &report, 1e-9).is_empty());
+
+        // A malformed shape in a baseline fails loudly.
+        let bad = text.replace(
+            "\"service_shape\": \"diurnal\"",
+            "\"service_shape\": \"wavy\"",
+        );
+        assert!(SweepReport::parse_str(&bad)
+            .expect_err("unknown shape rejected")
+            .contains("service shape"));
+    }
+
+    #[test]
+    fn timed_cells_report_round_throughput() {
+        let report = sample_report();
+        let timed = report.to_json(true).to_pretty_string();
+        assert!(timed.contains("rounds_per_sec"));
+        assert!(!report.to_canonical_string().contains("rounds_per_sec"));
+    }
+
     #[test]
     fn comparison_passes_on_identical_reports() {
         let report = sample_report();
@@ -597,7 +892,7 @@ mod tests {
     fn schema_version_mismatch_is_rejected() {
         let text = sample_report()
             .to_canonical_string()
-            .replace("\"schema_version\": 4", "\"schema_version\": 99");
+            .replace("\"schema_version\": 5", "\"schema_version\": 99");
         let err = SweepReport::parse_str(&text).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }

@@ -28,9 +28,13 @@ use themis_core::config::ThemisConfig;
 use themis_protocol::log::MessageLog;
 use themis_protocol::network::LogMode;
 use themis_protocol::transport::FaultConfig;
+use themis_sim::arrivals::{ArrivalProcess, ArrivalShape};
 use themis_sim::engine::{Engine, SimConfig};
 use themis_sim::metrics::SimReport;
+use themis_sim::service::{ServiceConfig, ServiceEngine, ServiceReport, StreamSource};
+use themis_sim::window::SteadyConfig;
 use themis_workload::app::AppSpec;
+use themis_workload::stream::TraceStream;
 use themis_workload::trace::{TraceConfig, TraceGenerator};
 
 /// The GPU-generation mix of a scenario's cluster: which speed classes the
@@ -90,6 +94,100 @@ impl GenMix {
 impl std::fmt::Display for GenMix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// The burst shape of a service-mode cell's arrival process — which
+/// time-varying rate modulation the open-system [`ArrivalProcess`] applies.
+/// Concrete shape parameters (cycle period, storm position) are derived
+/// from the cell's horizon in [`ServiceShape::arrival_shape`], so the axis
+/// stays a single stable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceShape {
+    /// Constant-rate Poisson arrivals.
+    #[default]
+    Poisson,
+    /// A day/night cycle: the rate swings ±80% over a period of a quarter
+    /// of the horizon (so every cell sees several full cycles).
+    Diurnal,
+    /// A flash crowd: 4× the base rate for one eighth of the horizon,
+    /// starting a quarter of the way in.
+    Flash,
+}
+
+impl ServiceShape {
+    /// Every shape, stationary first.
+    pub const ALL: [ServiceShape; 3] = [
+        ServiceShape::Poisson,
+        ServiceShape::Diurnal,
+        ServiceShape::Flash,
+    ];
+
+    /// Stable identifier used in scenario ids and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceShape::Poisson => "poisson",
+            ServiceShape::Diurnal => "diurnal",
+            ServiceShape::Flash => "flash",
+        }
+    }
+
+    /// Parses the identifier produced by [`ServiceShape::name`].
+    pub fn parse(name: &str) -> Option<ServiceShape> {
+        ServiceShape::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// The concrete arrival-process shape for a cell with this horizon.
+    pub fn arrival_shape(&self, horizon: Time) -> ArrivalShape {
+        match self {
+            ServiceShape::Poisson => ArrivalShape::Poisson,
+            ServiceShape::Diurnal => ArrivalShape::Diurnal {
+                period: horizon / 4.0,
+                amplitude: 0.8,
+            },
+            ServiceShape::Flash => ArrivalShape::FlashCrowd {
+                at: horizon / 4.0,
+                width: horizon / 8.0,
+                factor: 4.0,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The service-mode axis of a scenario. When present, the cell runs the
+/// open-system [`ServiceEngine`] (continuous admission/retirement, rolling
+/// windows, incremental rounds) instead of the batch engine, and the
+/// scenario's `apps` count is ignored — the arrival stream is unbounded up
+/// to the horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceAxis {
+    /// Burst shape of the arrival process.
+    pub shape: ServiceShape,
+    /// Arrival-rate multiplier over the scenario's trace mean inter-arrival
+    /// time — the utilization target of the open system. Values below 1
+    /// under-load the cluster (the incremental hot path's home turf);
+    /// values above 1 run it in sustained overload.
+    pub rate: f64,
+    /// Admission/simulation horizon in simulated minutes.
+    pub horizon_minutes: f64,
+}
+
+impl ServiceAxis {
+    /// A service axis with the given shape, rate and horizon.
+    pub fn new(shape: ServiceShape, rate: f64, horizon_minutes: f64) -> ServiceAxis {
+        assert!(rate > 0.0, "service arrival rate must be positive");
+        assert!(horizon_minutes > 0.0, "service horizon must be positive");
+        ServiceAxis {
+            shape,
+            rate,
+            horizon_minutes,
+        }
     }
 }
 
@@ -223,6 +321,10 @@ pub struct Scenario {
     /// randomness. Kept separate from the trace seed so the experiment
     /// views can reproduce the paper figures exactly.
     pub scheduler_seed: u64,
+    /// Service-mode axis: `None` (the default) runs the closed-system batch
+    /// engine; `Some` runs the open-system service engine instead (see
+    /// [`Scenario::run_service`]).
+    pub service: Option<ServiceAxis>,
 }
 
 impl Scenario {
@@ -244,6 +346,7 @@ impl Scenario {
             fault: FaultConfig::reliable(),
             seed,
             scheduler_seed: 0,
+            service: None,
         }
     }
 
@@ -307,6 +410,12 @@ impl Scenario {
         self
     }
 
+    /// Switches the scenario to service mode with the given axis.
+    pub fn with_service(mut self, axis: ServiceAxis) -> Scenario {
+        self.service = Some(axis);
+        self
+    }
+
     /// The concrete cluster topology this scenario runs on: the cluster
     /// kind's base spec with the generation mix applied. [`GenMix::Uniform`]
     /// yields the base spec unchanged (every constructor already builds
@@ -326,7 +435,7 @@ impl Scenario {
     /// partition period × duration, `o` the Arbiter-failover period, `q`
     /// the fault RNG seed).
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{}-g{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-j{}-w{}-p{}x{}-o{}-q{}-s{}",
             self.cluster.name(),
             self.gen_mix.name(),
@@ -349,7 +458,19 @@ impl Scenario {
             self.fault.failover_period,
             self.fault.seed,
             self.seed
-        )
+        );
+        // Service-mode suffix only when the axis is present, so every
+        // closed-system id (and with it every committed baseline) is
+        // unchanged by the axis existing.
+        if let Some(axis) = &self.service {
+            id.push_str(&format!(
+                "-v{}-r{}-z{}",
+                axis.shape.name(),
+                axis.rate,
+                axis.horizon_minutes
+            ));
+        }
+        id
     }
 
     /// The trace configuration this scenario generates apps from.
@@ -464,6 +585,58 @@ impl Scenario {
     pub fn run_replayed(&self, policy: Policy, log: MessageLog) -> SimReport {
         self.run_on_trace_with_log(policy, self.trace(), LogMode::replay(Arc::new(log)))
     }
+
+    /// The service-engine configuration of a service-mode scenario: the
+    /// axis horizon, a heartbeat of half the lease (so windowed metrics
+    /// keep moving through idle stretches), and rolling-window/steady-state
+    /// parameters scaled to the horizon. The ρ window is a quarter of the
+    /// horizon and the detector asks for few samples in it: apps on these
+    /// traces live for hundreds of simulated minutes, so retirements — the
+    /// only source of achieved-ρ samples — are scarce, and a tight window
+    /// would starve the detector no matter how stable the system is. The
+    /// backlog-swing guard, not the ρ band, is what separates a storm from
+    /// steady state. Panics if the scenario has no service axis.
+    pub fn service_config(&self) -> ServiceConfig {
+        let axis = self
+            .service
+            .expect("service_config() needs a service axis (use with_service)");
+        let horizon = Time::minutes(axis.horizon_minutes);
+        ServiceConfig {
+            horizon,
+            tick_interval: Some(Time::minutes(self.lease_minutes / 2.0)),
+            window: horizon / 4.0,
+            steady: SteadyConfig {
+                warmup: horizon / 8.0,
+                check_interval: horizon / 40.0,
+                min_samples: 3,
+                tolerance: 0.5,
+                consecutive: 3,
+                backlog_slack: 4,
+            },
+        }
+    }
+
+    /// Runs `policy` on this scenario's service axis: an open-system run
+    /// where the [`ArrivalProcess`] (seeded from the scenario seed,
+    /// modulated by the axis shape) paces an unbounded [`TraceStream`] of
+    /// apps into the [`ServiceEngine`] until the horizon. Incremental
+    /// rounds are enabled — schedulers that support the skip contract get
+    /// the hot path, everything else transparently runs every auction.
+    /// Panics if the scenario has no service axis.
+    pub fn run_service(&self, policy: Policy) -> ServiceReport {
+        let axis = self
+            .service
+            .expect("run_service() needs a service axis (use with_service)");
+        let horizon = Time::minutes(axis.horizon_minutes);
+        let trace_config = self.trace_config();
+        let mean = trace_config.mean_interarrival / axis.rate;
+        let arrivals = ArrivalProcess::new(axis.shape.arrival_shape(horizon), mean, self.seed);
+        let source = StreamSource::new(arrivals, TraceStream::new(trace_config), horizon);
+        let cluster = Cluster::new(self.cluster_spec());
+        let sim = self.sim_config().with_incremental(true);
+        let scheduler = self.instantiate(policy).build_with(&sim);
+        ServiceEngine::new(cluster, scheduler, sim, self.service_config(), source).run()
+    }
 }
 
 /// A declarative scenario matrix: every field is an axis, and
@@ -500,6 +673,11 @@ pub struct Matrix {
     pub heavy_job_fraction: Vec<f64>,
     /// Transport-fault axis (`themis-dist` only).
     pub faults: Vec<FaultConfig>,
+    /// Service-mode axis. `[None]` (the default) keeps a matrix fully
+    /// closed-system; service matrices put their shape × rate grid here.
+    /// Like the generation mix, the axis affects every policy, so no cell
+    /// is deduped along it.
+    pub service: Vec<Option<ServiceAxis>>,
     /// Seed axis.
     pub seeds: Vec<u64>,
     /// Policies to run on every scenario.
@@ -523,6 +701,7 @@ impl Matrix {
             burst_fraction: vec![0.0],
             heavy_job_fraction: vec![0.0],
             faults: vec![FaultConfig::reliable()],
+            service: vec![None],
             seeds: vec![seed],
             policies: Policy::all(),
         }
@@ -659,9 +838,60 @@ impl Matrix {
         }
     }
 
+    /// The horizon (simulated minutes) of a `service` matrix cell; the
+    /// nightly `soak` matrix runs 10× this. Sized so the sustained-overload
+    /// cells (~75 admitted apps on the 16-GPU rack) stay tractable in the
+    /// debug-mode determinism test as well as the release CI gate.
+    pub const SERVICE_HORIZON_MINUTES: f64 = 1_000.0;
+
+    /// The open-system service matrix: burst shape × utilization target on
+    /// the 16-GPU rack, for Themis and all four in-process baselines. The
+    /// 0.25 rate is a mostly-idle cluster (the incremental hot path's
+    /// skip-ratio showcase); 1.5 is sustained overload. Pinned seed — CI
+    /// gates it exactly against `BENCH_SERVICE_BASELINE.json`.
+    /// Distributed-mode Themis is excluded: its scheduler doubles as the
+    /// actor-runtime pump, so service cells would measure the transport,
+    /// not the service loop.
+    pub fn service() -> Matrix {
+        Matrix {
+            service: ServiceShape::ALL
+                .into_iter()
+                .flat_map(|shape| {
+                    [0.25, 1.5].into_iter().map(move |rate| {
+                        Some(ServiceAxis::new(shape, rate, Self::SERVICE_HORIZON_MINUTES))
+                    })
+                })
+                .collect(),
+            policies: vec![
+                Policy::themis_default(),
+                Policy::Gandiva,
+                Policy::Slaq,
+                Policy::Tiresias,
+                Policy::Drf,
+            ],
+            ..Matrix::point("service", ClusterKind::Rack16, 6, 42)
+        }
+    }
+
+    /// The nightly long-soak matrix: sustained overload (Poisson, 1.5×)
+    /// over a horizon 10× the service matrix's, for Themis and the cheapest
+    /// baseline. Minutes of wall-clock — run it from the nightly scheduled
+    /// CI job (or locally), never on push/PR.
+    pub fn soak() -> Matrix {
+        Matrix {
+            service: vec![Some(ServiceAxis::new(
+                ServiceShape::Poisson,
+                1.5,
+                10.0 * Self::SERVICE_HORIZON_MINUTES,
+            ))],
+            policies: vec![Policy::themis_default(), Policy::Tiresias],
+            ..Matrix::point("soak", ClusterKind::Rack16, 6, 42)
+        }
+    }
+
     /// Names accepted by [`Matrix::by_name`].
-    pub const NAMED: [&'static str; 7] = [
-        "smoke", "full", "lease", "stress", "faults", "scale", "hetero",
+    pub const NAMED: [&'static str; 9] = [
+        "smoke", "full", "lease", "stress", "faults", "scale", "hetero", "service", "soak",
     ];
 
     /// Looks up a named matrix.
@@ -674,6 +904,8 @@ impl Matrix {
             "faults" => Some(Matrix::faults()),
             "scale" => Some(Matrix::scale()),
             "hetero" => Some(Matrix::hetero()),
+            "service" => Some(Matrix::service()),
+            "soak" => Some(Matrix::soak()),
             _ => None,
         }
     }
@@ -694,22 +926,25 @@ impl Matrix {
                                         for &burst_fraction in &self.burst_fraction {
                                             for &heavy_job_fraction in &self.heavy_job_fraction {
                                                 for &fault in &self.faults {
-                                                    for &seed in &self.seeds {
-                                                        out.push(Scenario {
-                                                            cluster,
-                                                            gen_mix,
-                                                            apps,
-                                                            contention,
-                                                            network_fraction,
-                                                            fairness_knob,
-                                                            lease_minutes,
-                                                            rho_error,
-                                                            burst_fraction,
-                                                            heavy_job_fraction,
-                                                            fault,
-                                                            seed,
-                                                            scheduler_seed: seed,
-                                                        });
+                                                    for &service in &self.service {
+                                                        for &seed in &self.seeds {
+                                                            out.push(Scenario {
+                                                                cluster,
+                                                                gen_mix,
+                                                                apps,
+                                                                contention,
+                                                                network_fraction,
+                                                                fairness_knob,
+                                                                lease_minutes,
+                                                                rho_error,
+                                                                burst_fraction,
+                                                                heavy_job_fraction,
+                                                                fault,
+                                                                seed,
+                                                                scheduler_seed: seed,
+                                                                service,
+                                                            });
+                                                        }
                                                     }
                                                 }
                                             }
@@ -947,6 +1182,77 @@ mod tests {
             matrix.expand().len() * matrix.policies.len(),
             "no dedupe applies: every policy runs the full expansion"
         );
+    }
+
+    #[test]
+    fn service_matrix_covers_the_shape_rate_grid_for_every_policy() {
+        let matrix = Matrix::service();
+        assert_eq!(matrix.service.len(), 6, "3 shapes x 2 rates");
+        assert_eq!(matrix.policies.len(), 5, "themis + all four baselines");
+        assert!(
+            matrix.policies.iter().all(|p| !p.is_distributed()),
+            "distributed mode opts out of incremental rounds and is excluded"
+        );
+        let cells = matrix.cells();
+        // Every policy runs every (shape, rate) point: the service axis is
+        // policy-agnostic, so no dedupe applies along it.
+        for policy in &matrix.policies {
+            for shape in ServiceShape::ALL {
+                for rate in [0.25, 1.5] {
+                    assert!(
+                        cells.iter().any(|(s, p)| {
+                            p.name() == policy.name()
+                                && s.service
+                                    .is_some_and(|a| a.shape == shape && a.rate == rate)
+                        }),
+                        "{} missing the ({shape}, {rate}) cell",
+                        policy.name()
+                    );
+                }
+            }
+        }
+        assert_eq!(cells.len(), matrix.expand().len() * matrix.policies.len());
+        // Every cell carries the axis, and ids encode it.
+        for (scenario, _) in &cells {
+            let axis = scenario
+                .service
+                .expect("service matrix cells carry the axis");
+            assert_eq!(axis.horizon_minutes, Matrix::SERVICE_HORIZON_MINUTES);
+            assert!(scenario
+                .id()
+                .contains(&format!("-v{}-r{}", axis.shape, axis.rate)));
+        }
+    }
+
+    #[test]
+    fn soak_matrix_is_the_long_horizon_overload_cell() {
+        let matrix = Matrix::soak();
+        let axis = matrix.service[0].expect("soak carries one service axis");
+        assert_eq!(axis.shape, ServiceShape::Poisson);
+        assert_eq!(axis.rate, 1.5);
+        assert_eq!(
+            axis.horizon_minutes,
+            10.0 * Matrix::SERVICE_HORIZON_MINUTES,
+            "the nightly soak runs 10x the service horizon"
+        );
+        assert_eq!(matrix.cells().len(), 2, "themis + one baseline");
+    }
+
+    #[test]
+    fn service_axis_round_trips_through_the_id_suffix() {
+        let s = Scenario::new(ClusterKind::Rack16, 6, 42);
+        let base_id = s.id();
+        let with_axis = s.with_service(ServiceAxis::new(ServiceShape::Diurnal, 1.5, 2_000.0));
+        assert_eq!(
+            with_axis.id(),
+            format!("{base_id}-vdiurnal-r1.5-z2000"),
+            "the suffix appends; closed-system ids are untouched"
+        );
+        for shape in ServiceShape::ALL {
+            assert_eq!(ServiceShape::parse(shape.name()), Some(shape));
+            assert_eq!(shape.to_string(), shape.name());
+        }
+        assert_eq!(ServiceShape::parse("wavy"), None);
     }
 
     #[test]

@@ -43,15 +43,22 @@ pub fn run_sweep_filtered(
     }
 }
 
-/// Runs one `(scenario, policy)` cell and extracts its metrics.
+/// Runs one `(scenario, policy)` cell and extracts its metrics. A cell
+/// with a service axis runs the open-system service engine and carries the
+/// windowed `service` metric block; every other cell runs the batch engine
+/// exactly as before.
 pub fn run_cell(scenario: &Scenario, policy: Policy) -> CellReport {
     let started = Instant::now();
-    let report = scenario.run(policy);
+    let metrics = if scenario.service.is_some() {
+        CellMetrics::from_service_report(&scenario.run_service(policy))
+    } else {
+        CellMetrics::from_report(&scenario.run(policy))
+    };
     CellReport {
         id: format!("{}/{}", scenario.id(), policy.name()),
         policy: policy.name().to_string(),
         scenario: scenario.clone(),
-        metrics: CellMetrics::from_report(&report),
+        metrics,
         wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }

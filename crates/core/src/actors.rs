@@ -849,6 +849,13 @@ impl Scheduler for DistributedThemisScheduler {
             (n, t) => n.or(t),
         }
     }
+
+    /// `schedule` doubles as the actor-runtime pump: even a round that can
+    /// grant nothing must deliver due messages and fire timers, so skipping
+    /// the call would change behaviour.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -462,6 +462,13 @@ impl Scheduler for InstantDistributedScheduler {
         self.stats.voided_wins += (before - decisions.len()) as u64;
         decisions
     }
+
+    /// Every `schedule` call advances the round counter, crash schedule and
+    /// per-node message flow even when nothing can be granted, so the
+    /// incremental skip would desynchronize the simulated control plane.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,18 @@ impl AppArena {
         old
     }
 
+    /// Removes and returns an app's runtime, if present. The slot stays
+    /// reserved (app ids are never reused), so later inserts and lookups
+    /// keep their O(1) index math; service mode uses this to retire
+    /// finished apps from a long-running arena.
+    pub fn remove(&mut self, app: AppId) -> Option<AppRuntime> {
+        let taken = self.slots.get_mut(app.index()).and_then(Option::take);
+        if taken.is_some() {
+            self.count -= 1;
+        }
+        taken
+    }
+
     /// Number of apps in the arena.
     pub fn len(&self) -> usize {
         self.count
@@ -154,6 +166,22 @@ mod tests {
         let ids: Vec<AppId> = arena.ids().collect();
         assert_eq!(ids, vec![AppId(0), AppId(3), AppId(5)]);
         assert_eq!(arena[AppId(0)].id(), AppId(0));
+    }
+
+    #[test]
+    fn remove_retires_an_app_and_keeps_the_slot_reserved() {
+        let mut arena = AppArena::from_runtimes([rt(0), rt(1), rt(2)]);
+        let removed = arena.remove(AppId(1)).expect("app 1 present");
+        assert_eq!(removed.id(), AppId(1));
+        assert_eq!(arena.len(), 2);
+        assert!(!arena.contains(AppId(1)));
+        assert!(arena.remove(AppId(1)).is_none());
+        assert!(arena.remove(AppId(99)).is_none());
+        let ids: Vec<AppId> = arena.ids().collect();
+        assert_eq!(ids, vec![AppId(0), AppId(2)]);
+        // The slot is still addressable: a later insert at the same id works.
+        assert!(arena.insert(rt(1)).is_none());
+        assert_eq!(arena.len(), 3);
     }
 
     #[test]

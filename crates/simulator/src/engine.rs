@@ -50,6 +50,17 @@ pub struct SimConfig {
     /// strand unfinished apps. `None` (the default) preserves the classic
     /// purely event-driven behavior.
     pub retry_interval: Option<Time>,
+    /// Incremental round hot path: skip the policy call on a round where
+    /// the offer set is clean (no arrival, no lease reclaim, no GPU
+    /// release since the last auction) *and* no grant is possible (zero
+    /// free GPUs, or no schedulable app with unmet demand), provided the
+    /// scheduler opts in via
+    /// [`Scheduler::supports_incremental`].
+    /// Observationally pure by construction — skipped rounds still count
+    /// toward `scheduling_rounds`, so reports are byte-identical with the
+    /// flag on or off. Defaults to `false` (the classic batch behavior);
+    /// service mode turns it on to keep heartbeat rounds cheap.
+    pub incremental: bool,
 }
 
 impl Default for SimConfig {
@@ -60,6 +71,7 @@ impl Default for SimConfig {
             max_sim_time: Time::minutes(1_000_000.0),
             fault: FaultConfig::reliable(),
             retry_interval: None,
+            incremental: false,
         }
     }
 }
@@ -95,6 +107,12 @@ impl SimConfig {
         self.retry_interval = Some(interval);
         self
     }
+
+    /// Enables (or disables) the incremental round hot path.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
 }
 
 /// The discrete-event simulation engine, generic over the scheduling policy.
@@ -118,6 +136,15 @@ pub struct Engine<S: Scheduler> {
     /// Consecutive rounds that granted nothing while demand existed; drives
     /// the exponential retry backoff.
     idle_retries: u32,
+    /// The offer set may have changed since the last auction actually ran:
+    /// an app arrived (or was admitted mid-run), a lease was reclaimed, or
+    /// a finished/killed job released GPUs. While clean, a round where no
+    /// grant is possible may skip the policy call (incremental mode).
+    offer_dirty: bool,
+    /// Rounds in which the policy was actually invoked.
+    auctions_run: u64,
+    /// Rounds in which the incremental hot path skipped the policy call.
+    auctions_skipped: u64,
 }
 
 impl<S: Scheduler> Engine<S> {
@@ -153,6 +180,9 @@ impl<S: Scheduler> Engine<S> {
             retry_pending: false,
             pending_wakeups: BTreeSet::new(),
             idle_retries: 0,
+            offer_dirty: true,
+            auctions_run: 0,
+            auctions_skipped: 0,
         }
     }
 
@@ -169,6 +199,19 @@ impl<S: Scheduler> Engine<S> {
     /// Read access to the app runtimes (useful in tests).
     pub fn apps(&self) -> &AppArena {
         &self.apps
+    }
+
+    /// Number of scheduling rounds processed so far (including rounds the
+    /// incremental hot path skipped the policy call on).
+    pub fn scheduling_rounds(&self) -> u64 {
+        self.scheduling_rounds
+    }
+
+    /// `(auctions run, auctions skipped)`: how many rounds actually invoked
+    /// the policy versus how many the incremental hot path short-circuited.
+    /// The two always sum to [`scheduling_rounds`](Engine::scheduling_rounds).
+    pub fn auction_counts(&self) -> (u64, u64) {
+        (self.auctions_run, self.auctions_skipped)
     }
 
     /// Runs the simulation to completion (all apps finished, the event queue
@@ -188,17 +231,7 @@ impl<S: Scheduler> Engine<S> {
                 self.advance_to(self.config.max_sim_time);
                 break;
             }
-            // A firing projection is consumed; a fresh one will be pushed if
-            // the job is still running after this round.
-            if let EventKind::JobFinish(app, job) = event.kind {
-                self.scheduled_finish.remove(&(app, job));
-            }
-            if event.kind == EventKind::Retry {
-                self.retry_pending = false;
-            }
-            if event.kind == EventKind::Wakeup {
-                self.pending_wakeups.remove(&event.time);
-            }
+            self.note_event(&event);
             self.advance_to(event.time);
             self.process_round();
             if self.apps.iter().all(|a| a.is_finished()) {
@@ -206,6 +239,127 @@ impl<S: Scheduler> Engine<S> {
             }
         }
 
+        self.into_report()
+    }
+
+    /// Event-queue bookkeeping that must happen when an event is consumed,
+    /// shared between the batch loop and the service-mode stepper.
+    fn note_event(&mut self, event: &crate::events::Event) {
+        match event.kind {
+            // A firing projection is consumed; a fresh one will be pushed if
+            // the job is still running after this round.
+            EventKind::JobFinish(app, job) => {
+                self.scheduled_finish.remove(&(app, job));
+            }
+            // A new app changes the demand side of the offer.
+            EventKind::AppArrival(_) => self.offer_dirty = true,
+            EventKind::Retry => self.retry_pending = false,
+            EventKind::Wakeup => {
+                self.pending_wakeups.remove(&event.time);
+            }
+            EventKind::LeaseExpiry | EventKind::Tick => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Service-mode (open-system) API. The batch `run` above fully owns the
+    // engine; these entry points let `ServiceEngine` drive the same round
+    // machinery under a continuous arrival stream.
+    // ------------------------------------------------------------------
+
+    /// The time of the earliest pending event, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// `true` once every app currently in the arena has finished.
+    pub fn all_finished(&self) -> bool {
+        self.apps.iter().all(|a| a.is_finished())
+    }
+
+    /// Admits a batch of apps sharing one arrival time into a running
+    /// simulation: advances to the arrival, inserts every runtime, then
+    /// processes one scheduling round per admitted app — exactly the event
+    /// sequence the batch engine produces for same-time arrivals (all
+    /// runtimes visible from the first round, one round per arrival event).
+    pub fn admit(&mut self, runtimes: Vec<AppRuntime>) {
+        let Some(first) = runtimes.first() else {
+            return;
+        };
+        let arrival = first.spec.arrival;
+        assert!(
+            arrival >= self.now,
+            "admitted app arrives at {arrival:?}, before current time {:?}",
+            self.now
+        );
+        assert!(
+            runtimes.iter().all(|rt| rt.spec.arrival == arrival),
+            "admit() takes one same-arrival-time batch"
+        );
+        let rounds = runtimes.len();
+        self.advance_to(arrival);
+        for rt in runtimes {
+            let replaced = self.apps.insert(rt);
+            assert!(replaced.is_none(), "admitted app id already in the arena");
+        }
+        for _ in 0..rounds {
+            self.offer_dirty = true;
+            self.process_round();
+        }
+    }
+
+    /// Pops and processes the earliest pending event if it is due at or
+    /// before `horizon`. Returns `false` (without touching the clock) when
+    /// the queue is empty or the next event lies beyond the horizon.
+    pub fn step_due(&mut self, horizon: Time) -> bool {
+        match self.events.peek_time() {
+            Some(t) if t <= horizon => {}
+            _ => return false,
+        }
+        let event = self.events.pop().expect("peeked event exists");
+        self.note_event(&event);
+        self.advance_to(event.time);
+        self.process_round();
+        true
+    }
+
+    /// Processes every pending event due at or before `horizon`. The clock
+    /// is left at the last processed event (it does *not* jump to `horizon`:
+    /// an event-free tail would advance training progress in an extra slice
+    /// and perturb float accumulation relative to a batch run).
+    pub fn run_until(&mut self, horizon: Time) {
+        while self.step_due(horizon) {}
+    }
+
+    /// Schedules a heartbeat [`Tick`](EventKind::Tick) round at `at`.
+    /// Service mode uses these to keep windowed metrics and steady-state
+    /// checks moving through event-free stretches; with `incremental` set,
+    /// a tick on a clean offer set costs no policy call.
+    pub fn push_tick(&mut self, at: Time) {
+        self.events.push(at, EventKind::Tick);
+    }
+
+    /// Removes every finished app from the arena and returns their outcomes
+    /// in id order. An app's outcome is frozen the moment it finishes
+    /// (timelines and accumulators no longer move), so retiring it early is
+    /// observationally identical to keeping it until the end of the run.
+    pub fn retire_finished(&mut self) -> Vec<crate::metrics::AppOutcome> {
+        let done: Vec<AppId> = self
+            .apps
+            .iter()
+            .filter(|rt| rt.finished_at.is_some())
+            .map(|rt| rt.id())
+            .collect();
+        done.into_iter()
+            .filter_map(|id| self.apps.remove(id))
+            .map(|rt| crate::metrics::AppOutcome::from_runtime(&rt))
+            .collect()
+    }
+
+    /// Final bookkeeping and report extraction over the apps still in the
+    /// arena. (Service mode merges these with the outcomes it collected at
+    /// retirement time.)
+    pub fn into_report(mut self) -> SimReport {
         // Final bookkeeping so completion metrics reflect the end state.
         for rt in self.apps.iter_mut() {
             rt.try_finish(self.now);
@@ -242,6 +396,9 @@ impl<S: Scheduler> Engine<S> {
     /// One full post-event processing + scheduling round.
     fn process_round(&mut self) {
         let now = self.now;
+        // Reclaims and releases below only ever *free* GPUs, so a changed
+        // free count after steps 1–2 is exactly "the offer set changed".
+        let free_before = self.cluster.free_gpu_count();
 
         // 1. Reclaim expired leases, remembering what each job held so that
         //    an immediate re-grant of the same GPUs (a lease renewal) does
@@ -297,6 +454,10 @@ impl<S: Scheduler> Engine<S> {
             }
         }
 
+        if self.cluster.free_gpu_count() != free_before {
+            self.offer_dirty = true;
+        }
+
         // 3. Track contention.
         let demand: usize = self
             .apps
@@ -309,8 +470,29 @@ impl<S: Scheduler> Engine<S> {
             self.peak_contention = contention;
         }
 
-        // 4. Run the policy and apply its decisions.
-        let decisions = self.scheduler.schedule(now, &self.cluster, &self.apps);
+        // 4. Run the policy and apply its decisions. The incremental hot
+        //    path skips the call on a clean offer set when no grant is
+        //    possible anyway — every opted-in policy provably early-returns
+        //    with no decisions, no RNG draws and no state changes in exactly
+        //    that state, so the skip is observationally pure. The round
+        //    still counts toward `scheduling_rounds`, keeping reports
+        //    byte-identical with the flag on or off.
+        let skip_auction = self.config.incremental
+            && !self.offer_dirty
+            && self.scheduler.supports_incremental()
+            && (self.cluster.free_gpu_count() == 0
+                || !self
+                    .apps
+                    .iter()
+                    .any(|a| a.is_schedulable(now) && a.unmet_demand(&self.cluster) > 0));
+        let decisions = if skip_auction {
+            self.auctions_skipped += 1;
+            Vec::new()
+        } else {
+            self.auctions_run += 1;
+            self.offer_dirty = false;
+            self.scheduler.schedule(now, &self.cluster, &self.apps)
+        };
         self.scheduling_rounds += 1;
         let lease_expiry = now + self.config.lease_duration;
         let mut changed_jobs: BTreeSet<(AppId, JobId)> = BTreeSet::new();

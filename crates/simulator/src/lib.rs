@@ -18,7 +18,12 @@
 //! * [`engine`] — the simulation loop itself,
 //! * [`metrics`] — the evaluation metrics the paper reports: finish-time
 //!   fairness ρ, max fairness, Jain's index, placement score, GPU time and
-//!   app completion times.
+//!   app completion times,
+//! * [`arrivals`], [`window`], [`service`] — the open-system **service
+//!   mode**: unbounded arrival processes (Poisson, diurnal, flash-crowd),
+//!   rolling-window percentile metrics with steady-state detection, and
+//!   the [`service::ServiceEngine`] driver that admits and retires apps
+//!   continuously with an incremental (auction-skipping) round hot path.
 //!
 //! Each run is single-threaded and fully deterministic: identical inputs
 //! (trace, cluster, scheduler, config) produce identical reports. Because
@@ -31,20 +36,30 @@
 
 pub mod app_runtime;
 pub mod arena;
+pub mod arrivals;
 pub mod batch;
 pub mod engine;
 pub mod events;
 pub mod metrics;
 pub mod scheduler;
+pub mod service;
+pub mod window;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::app_runtime::AppRuntime;
     pub use crate::arena::AppArena;
+    pub use crate::arrivals::{ArrivalProcess, ArrivalShape};
     pub use crate::batch::run_batch;
     pub use crate::engine::{Engine, SimConfig};
     pub use crate::metrics::{AppOutcome, SimReport};
     pub use crate::scheduler::{pick_gpus_packed, split_among_jobs, AllocationDecision, Scheduler};
+    pub use crate::service::{
+        AppSource, ReplaySource, ServiceConfig, ServiceEngine, ServiceReport, StreamSource,
+    };
+    pub use crate::window::{
+        RollingWindow, ServiceWindows, SteadyConfig, SteadyStateDetector, WindowSummary,
+    };
 }
 
 pub use prelude::*;

@@ -11,6 +11,7 @@
 //!
 //! [`SimReport`] gathers all of these from the engine's final state.
 
+use crate::app_runtime::AppRuntime;
 use crate::arena::AppArena;
 use serde::{Deserialize, Serialize};
 use themis_cluster::ids::AppId;
@@ -41,6 +42,28 @@ pub struct AppOutcome {
     pub gpu_timeline: Vec<(Time, usize)>,
 }
 
+impl AppOutcome {
+    /// Extracts the outcome from an app's runtime state. Once an app has
+    /// finished, every field here is frozen (the engine neither advances
+    /// nor re-records a finished app), so service mode extracts outcomes at
+    /// retirement time and gets exactly what an end-of-run extraction
+    /// would.
+    pub fn from_runtime(rt: &AppRuntime) -> Self {
+        AppOutcome {
+            app: rt.id(),
+            arrival: rt.spec.arrival,
+            finished_at: rt.finished_at,
+            completion_time: rt.completion_time(),
+            ideal_running_time: rt.spec.ideal_running_time(),
+            rho: rt.achieved_rho(),
+            attained_service: rt.attained_service,
+            placement_score: rt.average_placement_score(),
+            network_intensive: rt.spec.is_network_intensive(),
+            gpu_timeline: rt.gpu_timeline.clone(),
+        }
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -68,21 +91,7 @@ impl SimReport {
         peak_contention: f64,
         scheduling_rounds: u64,
     ) -> Self {
-        let outcomes: Vec<AppOutcome> = apps
-            .iter()
-            .map(|rt| AppOutcome {
-                app: rt.id(),
-                arrival: rt.spec.arrival,
-                finished_at: rt.finished_at,
-                completion_time: rt.completion_time(),
-                ideal_running_time: rt.spec.ideal_running_time(),
-                rho: rt.achieved_rho(),
-                attained_service: rt.attained_service,
-                placement_score: rt.average_placement_score(),
-                network_intensive: rt.spec.is_network_intensive(),
-                gpu_timeline: rt.gpu_timeline.clone(),
-            })
-            .collect();
+        let outcomes: Vec<AppOutcome> = apps.iter().map(AppOutcome::from_runtime).collect();
         let total_gpu_time = outcomes
             .iter()
             .fold(Time::ZERO, |acc, o| acc + o.attained_service);
@@ -94,6 +103,22 @@ impl SimReport {
             peak_contention,
             scheduling_rounds,
         }
+    }
+
+    /// Splices retirement-time outcomes back into a report over the apps
+    /// that were still live at the end of a service run, restoring global
+    /// app-id order and re-deriving `total_gpu_time` with the same
+    /// id-ordered fold [`from_apps`](SimReport::from_apps) uses — so a
+    /// merged service report is byte-identical to the batch report over the
+    /// same history.
+    pub fn with_merged_outcomes(mut self, mut retired: Vec<AppOutcome>) -> Self {
+        self.apps.append(&mut retired);
+        self.apps.sort_by_key(|o| o.app);
+        self.total_gpu_time = self
+            .apps
+            .iter()
+            .fold(Time::ZERO, |acc, o| acc + o.attained_service);
+        self
     }
 
     /// ρ values of all finished apps.

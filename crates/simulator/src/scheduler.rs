@@ -56,6 +56,23 @@ pub trait Scheduler {
     fn next_wakeup(&self) -> Option<Time> {
         None
     }
+
+    /// Whether the engine may skip calling [`schedule`](Scheduler::schedule)
+    /// on a round where the offer set is clean and no grant is possible
+    /// (zero free GPUs, or no schedulable app with unmet demand).
+    ///
+    /// Returning `true` is a purity contract: in exactly that state,
+    /// `schedule` must return no decisions *and* leave the policy's
+    /// observable behavior unchanged — no RNG draws, no internal state that
+    /// a later round's decisions depend on. Every in-process policy in this
+    /// workspace satisfies it (they all early-return before consuming
+    /// randomness or mutating per-round state). Message-driven schedulers
+    /// must override this to `false`: their `schedule` call doubles as the
+    /// actor runtime's pump, and skipping it would stall pending message
+    /// deliveries and protocol timers.
+    fn supports_incremental(&self) -> bool {
+        true
+    }
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -74,6 +91,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn next_wakeup(&self) -> Option<Time> {
         (**self).next_wakeup()
+    }
+
+    fn supports_incremental(&self) -> bool {
+        (**self).supports_incremental()
     }
 }
 

@@ -20,7 +20,8 @@
 //!   jobs owned by one user) ([`job`], [`app`]),
 //! * a seeded, deterministic **trace generator** reproducing every
 //!   statistic the paper reports about its enterprise trace ([`trace`]),
-//!   plus the underlying samplers ([`distributions`]).
+//!   plus the underlying samplers ([`distributions`]) and an open-ended
+//!   streaming wrapper for the simulator's service mode ([`stream`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +32,7 @@ pub mod job;
 pub mod loss;
 pub mod models;
 pub mod sensitivity;
+pub mod stream;
 pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
@@ -40,6 +42,7 @@ pub mod prelude {
     pub use crate::loss::LossCurve;
     pub use crate::models::ModelArch;
     pub use crate::sensitivity::PlacementSensitivity;
+    pub use crate::stream::TraceStream;
     pub use crate::trace::{TraceConfig, TraceGenerator};
 }
 

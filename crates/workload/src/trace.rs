@@ -181,19 +181,25 @@ impl TraceGenerator {
         let mut apps = Vec::with_capacity(self.config.num_apps);
         let mut arrival = Time::ZERO;
         for app_idx in 0..self.config.num_apps {
-            // The burst draw only happens when burstiness is enabled, so the
-            // default configuration consumes the same RNG stream as before
-            // the knob existed (pinned seeds stay pinned).
-            let mut mean = self.config.mean_interarrival.as_minutes();
-            if self.config.burst_fraction > 0.0
-                && self.rng.gen::<f64>() < self.config.burst_fraction
-            {
-                mean /= self.config.burst_factor.max(1.0);
-            }
-            arrival += Time::minutes(sample_exponential(&mut self.rng, mean));
+            arrival += self.sample_interarrival();
             apps.push(self.generate_app(AppId(app_idx as u32), arrival));
         }
         apps
+    }
+
+    /// Draws the next inter-arrival gap — exactly the per-app draws
+    /// [`generate`](TraceGenerator::generate) makes — so a streaming caller
+    /// ([`TraceStream`](crate::stream::TraceStream)) consumes the same RNG
+    /// stream as a batch trace and produces an identical app prefix.
+    pub fn sample_interarrival(&mut self) -> Time {
+        // The burst draw only happens when burstiness is enabled, so the
+        // default configuration consumes the same RNG stream as before the
+        // knob existed (pinned seeds stay pinned).
+        let mut mean = self.config.mean_interarrival.as_minutes();
+        if self.config.burst_fraction > 0.0 && self.rng.gen::<f64>() < self.config.burst_fraction {
+            mean /= self.config.burst_factor.max(1.0);
+        }
+        Time::minutes(sample_exponential(&mut self.rng, mean))
     }
 
     /// Generates a single app arriving at `arrival`.
