@@ -118,9 +118,14 @@ impl Policy {
     pub fn build_with_log(&self, sim: &SimConfig, mode: LogMode) -> Box<dyn Scheduler> {
         match self {
             Policy::Themis(config) => Box::new(ThemisScheduler::new(*config)),
-            Policy::ThemisDist(config) => Box::new(DistributedThemisScheduler::with_log_mode(
-                *config, sim.fault, mode,
-            )),
+            Policy::ThemisDist(config) => {
+                let mut scheduler =
+                    DistributedThemisScheduler::with_log_mode(*config, sim.fault, mode);
+                if let Some(deadline) = sim.bid_deadline {
+                    scheduler = scheduler.with_bid_deadline(deadline);
+                }
+                Box::new(scheduler)
+            }
             Policy::Gandiva => Box::new(Gandiva::new()),
             Policy::Tiresias => Box::new(Tiresias::new()),
             Policy::Slaq => Box::new(Slaq::new()),

@@ -10,10 +10,11 @@
 //! [`SweepReport::to_json`]`(true)` or the `sweep --timings` flag.
 
 use crate::json::Json;
-use crate::scenarios::{ClusterKind, GenMix, Scenario, ServiceAxis, ServiceShape};
+use crate::scenarios::{ClusterKind, GenMix, Scenario, ServiceAxis, ServiceShape, StormAxis};
 use themis_cluster::time::Time;
 use themis_protocol::transport::FaultConfig;
 use themis_sim::metrics::SimReport;
+use themis_sim::scheduler::ControlPlaneStats;
 use themis_sim::service::ServiceReport;
 
 /// Version stamp of the JSON schema, bumped on incompatible change so a
@@ -25,8 +26,13 @@ use themis_sim::service::ServiceReport;
 /// open-system service axis (`service_*` scenario fields and the windowed
 /// `service` metrics block, both present only on service-mode cells — a
 /// closed-system cell's JSON is byte-identical to v4 apart from the
-/// version stamp).
-pub const SCHEMA_VERSION: f64 = 5.0;
+/// version stamp); v6 added the Arbiter-backpressure axes
+/// (`fault_arbiter_service_minutes` and `fault_arbiter_batch`, present
+/// only when engaged), the storm axis (`storm_bid_deadline_minutes`,
+/// present only on storm cells) and the control-plane metrics block
+/// (`control`, present on cells whose scheduler exposes auction-round
+/// accounting — distributed-mode Themis).
+pub const SCHEMA_VERSION: f64 = 6.0;
 
 /// The windowed open-system metrics of one service-mode cell, extracted
 /// from the final [`ServiceReport`] snapshot. Deterministic for pinned
@@ -166,6 +172,102 @@ impl ServiceMetrics {
     }
 }
 
+/// The control-plane (auction-round) accounting of one distributed-mode
+/// cell, extracted from the scheduler's [`ControlPlaneStats`]. This is the
+/// metric set the `storm` matrix gates: under Arbiter congestion the
+/// missed-round rate is the headline number, and the raw counters say
+/// which phase of the §3.1 exchange lost the messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlMetrics {
+    /// Auction rounds the Arbiter started.
+    pub rounds: u64,
+    /// Rounds where every queried Agent's ρ report arrived by the deadline.
+    pub completed_rounds: u64,
+    /// ρ reports that missed the half-deadline across all rounds.
+    pub missed_rho_reports: u64,
+    /// Bids/Passes that missed the round deadline across all rounds.
+    pub missed_bids: u64,
+    /// Win notifications voided by Arbiter failover.
+    pub voided_wins: u64,
+}
+
+impl ControlMetrics {
+    /// Extracts the control-plane metric set from the scheduler's counters.
+    pub fn from_stats(stats: &ControlPlaneStats) -> ControlMetrics {
+        ControlMetrics {
+            rounds: stats.rounds,
+            completed_rounds: stats.completed_rounds,
+            missed_rho_reports: stats.missed_rho_reports,
+            missed_bids: stats.missed_bids,
+            voided_wins: stats.voided_wins,
+        }
+    }
+
+    /// Fraction of started rounds that lost at least one ρ report to the
+    /// deadline; `None` before any round has run.
+    pub fn missed_round_rate(&self) -> Option<f64> {
+        (self.rounds > 0).then(|| 1.0 - self.completed_rounds as f64 / self.rounds as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rounds".into(), Json::num(self.rounds as f64)),
+            (
+                "completed_rounds".into(),
+                Json::num(self.completed_rounds as f64),
+            ),
+            (
+                "missed_rho_reports".into(),
+                Json::num(self.missed_rho_reports as f64),
+            ),
+            ("missed_bids".into(), Json::num(self.missed_bids as f64)),
+            ("voided_wins".into(), Json::num(self.voided_wins as f64)),
+            // Derived from the counters above; write-only (recomputed on
+            // parse), kept in the document for human diffing.
+            (
+                "missed_round_rate".into(),
+                Json::opt_num(self.missed_round_rate()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<ControlMetrics, String> {
+        let uint = |key: &str| -> Result<u64, String> {
+            let v = value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("control metrics missing numeric field '{key}'"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("control {key} {v} is not a non-negative integer"));
+            }
+            Ok(v as u64)
+        };
+        Ok(ControlMetrics {
+            rounds: uint("rounds")?,
+            completed_rounds: uint("completed_rounds")?,
+            missed_rho_reports: uint("missed_rho_reports")?,
+            missed_bids: uint("missed_bids")?,
+            voided_wins: uint("voided_wins")?,
+        })
+    }
+
+    /// `(name, value)` pairs for diffing, mirroring
+    /// [`CellMetrics::numbered`].
+    fn numbered(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("rounds", self.rounds as f64),
+            ("completed_rounds", self.completed_rounds as f64),
+            ("missed_rho_reports", self.missed_rho_reports as f64),
+            ("missed_bids", self.missed_bids as f64),
+            ("voided_wins", self.voided_wins as f64),
+            (
+                "missed_round_rate",
+                self.missed_round_rate().unwrap_or(f64::NAN),
+            ),
+        ]
+    }
+}
+
 /// The metrics extracted from one simulation run (the paper's §8.1 set).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellMetrics {
@@ -192,6 +294,10 @@ pub struct CellMetrics {
     /// The windowed open-system metrics — present only on service-mode
     /// cells, so closed-system cells serialize exactly as before.
     pub service: Option<ServiceMetrics>,
+    /// The control-plane round accounting — present only on cells whose
+    /// scheduler exposes it (distributed-mode Themis), so in-process cells
+    /// serialize exactly as before.
+    pub control: Option<ControlMetrics>,
 }
 
 impl CellMetrics {
@@ -209,6 +315,7 @@ impl CellMetrics {
             unfinished_apps: report.unfinished_apps(),
             scheduling_rounds: report.scheduling_rounds,
             service: None,
+            control: report.control.as_ref().map(ControlMetrics::from_stats),
         }
     }
 
@@ -248,6 +355,9 @@ impl CellMetrics {
         if let Some(service) = &self.service {
             pairs.push(("service".into(), service.to_json()));
         }
+        if let Some(control) = &self.control {
+            pairs.push(("control".into(), control.to_json()));
+        }
         Json::Obj(pairs)
     }
 
@@ -274,15 +384,19 @@ impl CellMetrics {
                 .get("service")
                 .map(ServiceMetrics::from_json)
                 .transpose()?,
+            control: value
+                .get("control")
+                .map(ControlMetrics::from_json)
+                .transpose()?,
         })
     }
 
     /// `(name, value)` pairs of the numeric metrics, for diffing. Absent
     /// optional metrics surface as NaN, which only equals NaN on both sides
-    /// via the explicit check in [`compare_reports`]. The service block's
-    /// entries are always appended (NaN-filled on closed-system cells), so
-    /// a service cell missing its block compares as a divergence rather
-    /// than being silently zipped short.
+    /// via the explicit check in [`compare_reports`]. The service and
+    /// control blocks' entries are always appended (NaN-filled on cells
+    /// without the block), so a cell missing its block compares as a
+    /// divergence rather than being silently zipped short.
     fn numbered(&self) -> Vec<(&'static str, f64)> {
         let mut pairs = vec![
             ("max_rho", self.max_rho.unwrap_or(f64::NAN)),
@@ -314,6 +428,21 @@ impl CellMetrics {
                     steady_state_minutes: None,
                     auctions_run: 0,
                     auctions_skipped: 0,
+                }
+                .numbered()
+                .into_iter()
+                .map(|(name, _)| (name, f64::NAN)),
+            ),
+        }
+        match &self.control {
+            Some(control) => pairs.extend(control.numbered()),
+            None => pairs.extend(
+                ControlMetrics {
+                    rounds: 0,
+                    completed_rounds: 0,
+                    missed_rho_reports: 0,
+                    missed_bids: 0,
+                    voided_wins: 0,
                 }
                 .numbered()
                 .into_iter()
@@ -417,6 +546,21 @@ impl CellReport {
                 Json::num(scenario.scheduler_seed as f64),
             ),
         ];
+        // Arbiter-backpressure fields only when the knobs are engaged,
+        // keeping every pre-backpressure scenario object byte-identical to
+        // v5 runs apart from the version stamp.
+        if scenario.fault.arbiter_service_time > Time::ZERO {
+            pairs.push((
+                "fault_arbiter_service_minutes".into(),
+                Json::num(scenario.fault.arbiter_service_time.as_minutes()),
+            ));
+        }
+        if scenario.fault.arbiter_batch > 0 {
+            pairs.push((
+                "fault_arbiter_batch".into(),
+                Json::num(scenario.fault.arbiter_batch as f64),
+            ));
+        }
         // Service axis fields only on service-mode cells, keeping every
         // closed-system scenario object byte-identical to pre-service runs.
         if let Some(axis) = &scenario.service {
@@ -425,6 +569,13 @@ impl CellReport {
             pairs.push((
                 "service_horizon_minutes".into(),
                 Json::num(axis.horizon_minutes),
+            ));
+        }
+        // Storm axis field only on storm cells, same contract.
+        if let Some(axis) = &scenario.storm {
+            pairs.push((
+                "storm_bid_deadline_minutes".into(),
+                Json::num(axis.bid_deadline_minutes),
             ));
         }
         Json::Obj(pairs)
@@ -489,6 +640,27 @@ impl CellReport {
                         "fault_bandwidth {bandwidth} is not finite and non-negative"
                     ));
                 }
+                // The arbiter knobs are absent on pre-backpressure cells
+                // (and on any cell where they are zero), so they parse
+                // optionally with a zero default.
+                let arbiter_service_minutes = match value.get("fault_arbiter_service_minutes") {
+                    None => 0.0,
+                    Some(v) => {
+                        let v = v
+                            .as_f64()
+                            .ok_or("fault_arbiter_service_minutes must be a number")?;
+                        if !(v.is_finite() && v >= 0.0) {
+                            return Err(format!(
+                                "fault_arbiter_service_minutes {v} is not finite and non-negative"
+                            ));
+                        }
+                        v
+                    }
+                };
+                let arbiter_batch = match value.get("fault_arbiter_batch") {
+                    None => 0,
+                    Some(_) => uint("fault_arbiter_batch")?,
+                };
                 FaultConfig {
                     drop_probability,
                     delay: Time::minutes(delay_minutes),
@@ -500,6 +672,8 @@ impl CellReport {
                     partition_period: uint("fault_partition_period")?,
                     partition_rounds: uint("fault_partition_rounds")?,
                     failover_period: uint("fault_failover_period")?,
+                    arbiter_service_time: Time::minutes(arbiter_service_minutes),
+                    arbiter_batch,
                 }
             },
             seed: req("seed")? as u64,
@@ -521,6 +695,20 @@ impl CellReport {
                         return Err(format!("service_horizon_minutes {horizon} is not positive"));
                     }
                     Some(ServiceAxis::new(shape, rate, horizon))
+                }
+            },
+            storm: match value.get("storm_bid_deadline_minutes") {
+                None => None,
+                Some(v) => {
+                    let deadline = v
+                        .as_f64()
+                        .ok_or("storm_bid_deadline_minutes must be a number")?;
+                    if !(deadline.is_finite() && deadline > 0.0) {
+                        return Err(format!(
+                            "storm_bid_deadline_minutes {deadline} is not positive"
+                        ));
+                    }
+                    Some(StormAxis::new(deadline))
                 }
             },
         })
@@ -720,6 +908,7 @@ mod tests {
             unfinished_apps: 0,
             scheduling_rounds: 17,
             service: None,
+            control: None,
         };
         SweepReport {
             matrix: "unit".into(),
@@ -839,6 +1028,65 @@ mod tests {
             .contains("service shape"));
     }
 
+    fn storm_report() -> SweepReport {
+        let mut report = sample_report();
+        report.cells[0].scenario = report.cells[0]
+            .scenario
+            .clone()
+            .with_fault(
+                FaultConfig::reliable()
+                    .with_arbiter_service_time(Time::seconds(1.0))
+                    .with_arbiter_batch(8),
+            )
+            .with_storm(StormAxis::new(2.0));
+        report.cells[0].id = format!("{}/themis-dist", report.cells[0].scenario.id());
+        report.cells[0].policy = "themis-dist".into();
+        report.cells[0].metrics.control = Some(ControlMetrics {
+            rounds: 20,
+            completed_rounds: 15,
+            missed_rho_reports: 9,
+            missed_bids: 2,
+            voided_wins: 0,
+        });
+        report
+    }
+
+    #[test]
+    fn storm_cells_round_trip_and_gate_their_control_metrics() {
+        let report = storm_report();
+        let text = report.to_canonical_string();
+        assert!(text.contains("\"fault_arbiter_service_minutes\""));
+        assert!(text.contains("\"fault_arbiter_batch\": 8"));
+        assert!(text.contains("\"storm_bid_deadline_minutes\": 2"));
+        assert!(text.contains("\"missed_round_rate\": 0.25"));
+        let back = SweepReport::parse_str(&text).expect("storm cell parses");
+        assert_eq!(back.cells[0].scenario, report.cells[0].scenario);
+        assert_eq!(back.cells[0].metrics, report.cells[0].metrics);
+        assert_eq!(back.to_canonical_string(), text, "canonical fixed point");
+
+        // The control block is gated like any metric.
+        let mut current = storm_report();
+        current.cells[0]
+            .metrics
+            .control
+            .as_mut()
+            .expect("control block present")
+            .completed_rounds -= 1;
+        let diffs = compare_reports(&current, &report, 1e-9);
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        assert!(diffs.iter().any(|d| d.contains("completed_rounds")));
+        assert!(diffs.iter().any(|d| d.contains("missed_round_rate")));
+
+        // Dropping the block entirely is a divergence, not a silent pass.
+        current.cells[0].metrics.control = None;
+        assert!(!compare_reports(&current, &report, 1e-9).is_empty());
+
+        // A cell without the knobs has none of the new scenario fields.
+        let plain = sample_report().to_canonical_string();
+        assert!(!plain.contains("fault_arbiter"));
+        assert!(!plain.contains("storm_bid_deadline"));
+    }
+
     #[test]
     fn timed_cells_report_round_throughput() {
         let report = sample_report();
@@ -892,7 +1140,7 @@ mod tests {
     fn schema_version_mismatch_is_rejected() {
         let text = sample_report()
             .to_canonical_string()
-            .replace("\"schema_version\": 5", "\"schema_version\": 99");
+            .replace("\"schema_version\": 6", "\"schema_version\": 99");
         let err = SweepReport::parse_str(&text).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }

@@ -191,6 +191,33 @@ impl ServiceAxis {
     }
 }
 
+/// The storm axis of a scenario. When present, every app in the trace
+/// arrives at time zero — the all-at-once fan-in that stresses the
+/// Arbiter's inbox — and the auction's round deadline is overridden with
+/// the axis value. Combined with the `FaultConfig` arbiter-service-time
+/// and batching knobs this is the grid the `storm` matrix sweeps: how
+/// does per-round completion degrade as the message storm grows with app
+/// count, and does coalescing (or a longer deadline) buy it back?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormAxis {
+    /// Round (bid) deadline in minutes; ρ reports are due at half of it.
+    /// The actor runtime's default is 0.5 (30 s).
+    pub bid_deadline_minutes: f64,
+}
+
+impl StormAxis {
+    /// A storm axis with the given round deadline.
+    pub fn new(bid_deadline_minutes: f64) -> StormAxis {
+        assert!(
+            bid_deadline_minutes > 0.0,
+            "storm bid deadline must be positive"
+        );
+        StormAxis {
+            bid_deadline_minutes,
+        }
+    }
+}
+
 /// The cluster shapes scenarios can run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterKind {
@@ -325,6 +352,10 @@ pub struct Scenario {
     /// engine; `Some` runs the open-system service engine instead (see
     /// [`Scenario::run_service`]).
     pub service: Option<ServiceAxis>,
+    /// Storm axis: `None` (the default) leaves arrivals and the round
+    /// deadline alone; `Some` collapses every arrival to time zero and
+    /// overrides the auction's bid deadline (see [`StormAxis`]).
+    pub storm: Option<StormAxis>,
 }
 
 impl Scenario {
@@ -347,6 +378,7 @@ impl Scenario {
             seed,
             scheduler_seed: 0,
             service: None,
+            storm: None,
         }
     }
 
@@ -416,6 +448,12 @@ impl Scenario {
         self
     }
 
+    /// Switches the scenario to storm mode with the given axis.
+    pub fn with_storm(mut self, axis: StormAxis) -> Scenario {
+        self.storm = Some(axis);
+        self
+    }
+
     /// The concrete cluster topology this scenario runs on: the cluster
     /// kind's base spec with the generation mix applied. [`GenMix::Uniform`]
     /// yields the base spec unchanged (every constructor already builds
@@ -433,7 +471,9 @@ impl Scenario {
     /// delivery delay in minutes, `c` the crash period × duration, `j` the
     /// delivery jitter in minutes, `w` the link bandwidth, `p` the
     /// partition period × duration, `o` the Arbiter-failover period, `q`
-    /// the fault RNG seed).
+    /// the fault RNG seed). Arbiter-backpressure knobs append only when
+    /// engaged: `u` the per-message service time in minutes, `k` the batch
+    /// size; a storm axis appends `t` (the round deadline in minutes).
     pub fn id(&self) -> String {
         let mut id = format!(
             "{}-g{}-a{}-x{}-n{}-f{}-l{}-e{}-b{}-h{}-d{}-y{}-c{}x{}-j{}-w{}-p{}x{}-o{}-q{}-s{}",
@@ -459,6 +499,18 @@ impl Scenario {
             self.fault.seed,
             self.seed
         );
+        // Arbiter-backpressure suffixes only when the knobs are engaged, so
+        // every pre-backpressure id (and with it every committed baseline)
+        // is unchanged by the knobs existing.
+        if self.fault.arbiter_service_time > Time::ZERO {
+            id.push_str(&format!(
+                "-u{}",
+                self.fault.arbiter_service_time.as_minutes()
+            ));
+        }
+        if self.fault.arbiter_batch > 0 {
+            id.push_str(&format!("-k{}", self.fault.arbiter_batch));
+        }
         // Service-mode suffix only when the axis is present, so every
         // closed-system id (and with it every committed baseline) is
         // unchanged by the axis existing.
@@ -469,6 +521,10 @@ impl Scenario {
                 axis.rate,
                 axis.horizon_minutes
             ));
+        }
+        // Storm suffix, same contract as the service suffix.
+        if let Some(axis) = &self.storm {
+            id.push_str(&format!("-t{}", axis.bid_deadline_minutes));
         }
         id
     }
@@ -489,9 +545,17 @@ impl Scenario {
         config
     }
 
-    /// Generates the (deterministic) trace.
+    /// Generates the (deterministic) trace. A storm scenario collapses
+    /// every arrival to time zero *after* generation, so the trace RNG
+    /// stream — and with it every job's shape — is untouched by the axis.
     pub fn trace(&self) -> Vec<AppSpec> {
-        TraceGenerator::new(self.trace_config()).generate()
+        let mut trace = TraceGenerator::new(self.trace_config()).generate();
+        if self.storm.is_some() {
+            for spec in &mut trace {
+                spec.arrival = Time::ZERO;
+            }
+        }
+        trace
     }
 
     /// The engine configuration: the scenario's lease, the paper's 1-minute
@@ -510,6 +574,17 @@ impl Scenario {
             );
         if !self.fault.is_reliable() {
             config = config.with_retry_interval(Time::minutes(1.0));
+        }
+        if let Some(storm) = &self.storm {
+            config = config
+                .with_bid_deadline(Time::minutes(storm.bid_deadline_minutes))
+                // Storm cells measure round completion under congestion,
+                // not long-run convergence. A reliable storm finishes in a
+                // few thousand simulated minutes; a congested Arbiter can
+                // starve apps for hundreds of thousands, so the horizon is
+                // capped — a cell that hits it reports unfinished apps,
+                // which is itself the degradation signal.
+                .with_max_sim_time(Time::minutes(Matrix::STORM_HORIZON_MINUTES));
         }
         config
     }
@@ -678,6 +753,9 @@ pub struct Matrix {
     /// Like the generation mix, the axis affects every policy, so no cell
     /// is deduped along it.
     pub service: Vec<Option<ServiceAxis>>,
+    /// Storm axis. `[None]` (the default) keeps arrivals and the round
+    /// deadline untouched; the `storm` matrix puts its deadline grid here.
+    pub storm: Vec<Option<StormAxis>>,
     /// Seed axis.
     pub seeds: Vec<u64>,
     /// Policies to run on every scenario.
@@ -702,6 +780,7 @@ impl Matrix {
             heavy_job_fraction: vec![0.0],
             faults: vec![FaultConfig::reliable()],
             service: vec![None],
+            storm: vec![None],
             seeds: vec![seed],
             policies: Policy::all(),
         }
@@ -889,9 +968,78 @@ impl Matrix {
         }
     }
 
+    /// The simulated-time cap of a storm cell (see
+    /// [`Scenario::sim_config`]). Every *converging* storm cell ends well
+    /// inside it (the slowest, Rack16 × 32 apps at the 4× deadline, ends
+    /// near 5,600 simulated minutes); a *collapsed* cell — an over-capacity
+    /// inbox whose backlog diverges, e.g. Scale1024 × 32 apps unbatched at
+    /// the default deadline — runs to exactly this cap, so the cap also
+    /// bounds that cell's wall-clock (its event cost is linear in the
+    /// horizon).
+    pub const STORM_HORIZON_MINUTES: f64 = 7_500.0;
+
+    /// The per-message Arbiter service time of the storm matrix's
+    /// congested cells, in seconds. Chosen so the server stays *stable*
+    /// (five phases × 32 messages × 0.25 s ≈ 40 s of work per ~60 s round
+    /// cadence) while the ρ fan-in still overruns its deadline at 32 apps:
+    /// the query fan-out plus the serialized report fan-in take
+    /// 2 × 32 × 0.25 s = 16 s, just past the default 15 s ρ half-deadline —
+    /// while an 8-app storm (4 s) clears it comfortably. Batching (4
+    /// coalesced sends each way) and the 4× deadline each restore headroom.
+    ///
+    /// Stability additionally depends on the *round cadence*, which is a
+    /// cluster property: Rack16 auctions roughly once a simulated minute,
+    /// so 40 s of service work per round leaves slack, while Scale1024's
+    /// dense lease traffic fires rounds back-to-back and the same 32-app
+    /// unbatched load is over capacity — the backlog diverges, every round
+    /// misses, and the cell runs to the horizon cap with its apps starved.
+    /// That collapse is deliberate: it is the matrix's existence proof that
+    /// an uncoalesced Arbiter inbox does not survive cluster scale, and
+    /// both remedies under test (batching, deadline scaling) restore it to
+    /// near-zero missed rounds.
+    pub const STORM_SERVICE_SECONDS: f64 = 0.25;
+
+    /// The coalescing factor of the storm matrix's batched cells.
+    pub const STORM_BATCH: u64 = 8;
+
+    /// The Arbiter-backpressure storm matrix: every app arrives at time
+    /// zero (trace arrivals collapsed, job shapes untouched) on three
+    /// cluster scales, and distributed-mode Themis auctions the whole
+    /// population at once under three Arbiter regimes — free (the control:
+    /// must be metric-identical to an unstormed reliable run of the same
+    /// trace), congested ([`Matrix::STORM_SERVICE_SECONDS`] per message,
+    /// M/D/1-style inbox), and congested-but-coalesced (the same service
+    /// time with [`Matrix::STORM_BATCH`]-way `RhoBatch`/`OfferBatch`/
+    /// `WinBatch` messages) — each at the default 30 s round deadline and
+    /// at a 4× one. Pinned seed — CI gates it exactly against
+    /// `BENCH_STORM_BASELINE.json`. This is the experiment behind the
+    /// ROADMAP question "does the round deadline need to scale with
+    /// cluster size?": compare the missed-round rate across the deadline
+    /// columns as the app count grows.
+    pub fn storm() -> Matrix {
+        let congested = FaultConfig::reliable()
+            .with_arbiter_service_time(Time::seconds(Self::STORM_SERVICE_SECONDS));
+        Matrix {
+            clusters: vec![
+                ClusterKind::Rack16,
+                ClusterKind::Testbed50,
+                ClusterKind::Scale1024,
+            ],
+            apps: vec![8, 32],
+            policies: vec![Policy::themis_dist_default()],
+            faults: vec![
+                FaultConfig::reliable(),
+                congested,
+                congested.with_arbiter_batch(Self::STORM_BATCH),
+            ],
+            storm: vec![Some(StormAxis::new(0.5)), Some(StormAxis::new(2.0))],
+            ..Matrix::point("storm", ClusterKind::Rack16, 8, 42)
+        }
+    }
+
     /// Names accepted by [`Matrix::by_name`].
-    pub const NAMED: [&'static str; 9] = [
-        "smoke", "full", "lease", "stress", "faults", "scale", "hetero", "service", "soak",
+    pub const NAMED: [&'static str; 10] = [
+        "smoke", "full", "lease", "stress", "faults", "scale", "hetero", "service", "soak", "storm",
     ];
 
     /// Looks up a named matrix.
@@ -906,6 +1054,7 @@ impl Matrix {
             "hetero" => Some(Matrix::hetero()),
             "service" => Some(Matrix::service()),
             "soak" => Some(Matrix::soak()),
+            "storm" => Some(Matrix::storm()),
             _ => None,
         }
     }
@@ -927,23 +1076,26 @@ impl Matrix {
                                             for &heavy_job_fraction in &self.heavy_job_fraction {
                                                 for &fault in &self.faults {
                                                     for &service in &self.service {
-                                                        for &seed in &self.seeds {
-                                                            out.push(Scenario {
-                                                                cluster,
-                                                                gen_mix,
-                                                                apps,
-                                                                contention,
-                                                                network_fraction,
-                                                                fairness_knob,
-                                                                lease_minutes,
-                                                                rho_error,
-                                                                burst_fraction,
-                                                                heavy_job_fraction,
-                                                                fault,
-                                                                seed,
-                                                                scheduler_seed: seed,
-                                                                service,
-                                                            });
+                                                        for &storm in &self.storm {
+                                                            for &seed in &self.seeds {
+                                                                out.push(Scenario {
+                                                                    cluster,
+                                                                    gen_mix,
+                                                                    apps,
+                                                                    contention,
+                                                                    network_fraction,
+                                                                    fairness_knob,
+                                                                    lease_minutes,
+                                                                    rho_error,
+                                                                    burst_fraction,
+                                                                    heavy_job_fraction,
+                                                                    fault,
+                                                                    seed,
+                                                                    scheduler_seed: seed,
+                                                                    service,
+                                                                    storm,
+                                                                });
+                                                            }
                                                         }
                                                     }
                                                 }
@@ -1253,6 +1405,94 @@ mod tests {
             assert_eq!(shape.to_string(), shape.name());
         }
         assert_eq!(ServiceShape::parse("wavy"), None);
+    }
+
+    #[test]
+    fn storm_matrix_covers_the_backpressure_grid() {
+        let matrix = Matrix::storm();
+        assert_eq!(matrix.clusters.len(), 3, "Rack16 through Scale1024");
+        assert_eq!(matrix.apps, vec![8, 32]);
+        assert_eq!(
+            matrix.faults.len(),
+            3,
+            "free, congested, congested-but-coalesced"
+        );
+        assert_eq!(matrix.storm.len(), 2, "default and 4x round deadline");
+        assert!(
+            matrix.policies.iter().all(|p| p.is_distributed()),
+            "only distributed mode has an Arbiter inbox to congest"
+        );
+        let cells = matrix.cells();
+        assert_eq!(cells.len(), 3 * 2 * 3 * 2);
+        for (scenario, _) in &cells {
+            let axis = scenario.storm.expect("storm matrix cells carry the axis");
+            assert!(axis.bid_deadline_minutes == 0.5 || axis.bid_deadline_minutes == 2.0);
+        }
+        // The three Arbiter regimes are all present.
+        assert!(cells.iter().any(|(s, _)| s.fault.is_reliable()));
+        assert!(cells.iter().any(|(s, _)| {
+            s.fault.arbiter_service_time > Time::ZERO && s.fault.arbiter_batch == 0
+        }));
+        assert!(cells.iter().any(|(s, _)| {
+            s.fault.arbiter_service_time > Time::ZERO
+                && s.fault.arbiter_batch == Matrix::STORM_BATCH
+        }));
+    }
+
+    #[test]
+    fn storm_axis_round_trips_through_the_id_suffix() {
+        let s = Scenario::new(ClusterKind::Rack16, 6, 42);
+        let base_id = s.id();
+        assert!(
+            !base_id.contains("-u") && !base_id.contains("-t"),
+            "arbiter and storm suffixes are conditional; pre-backpressure ids are untouched"
+        );
+        let stormed = s.clone().with_storm(StormAxis::new(0.5));
+        assert_eq!(stormed.id(), format!("{base_id}-t0.5"));
+        let congested = stormed.with_fault(
+            FaultConfig::reliable()
+                .with_arbiter_service_time(Time::seconds(0.3))
+                .with_arbiter_batch(8),
+        );
+        assert_eq!(congested.id(), format!("{base_id}-u0.005-k8-t0.5"));
+    }
+
+    #[test]
+    fn storm_collapses_arrivals_but_not_job_shapes() {
+        let s = Scenario::new(ClusterKind::Rack16, 6, 42);
+        let plain = s.trace();
+        let stormed = s.clone().with_storm(StormAxis::new(0.5)).trace();
+        assert!(
+            plain.iter().any(|spec| spec.arrival > Time::ZERO),
+            "the unstormed trace staggers arrivals"
+        );
+        assert!(stormed.iter().all(|spec| spec.arrival == Time::ZERO));
+        // Same trace RNG stream: only the arrivals differ.
+        assert_eq!(plain.len(), stormed.len());
+        for (mut p, q) in plain.into_iter().zip(stormed) {
+            p.arrival = Time::ZERO;
+            assert_eq!(p, q, "the storm axis must not perturb job shapes");
+        }
+    }
+
+    #[test]
+    fn storm_sim_config_carries_deadline_and_horizon() {
+        let s = Scenario::new(ClusterKind::Rack16, 6, 42).with_storm(StormAxis::new(2.0));
+        let config = s.sim_config();
+        assert_eq!(config.bid_deadline, Some(Time::minutes(2.0)));
+        assert_eq!(
+            config.max_sim_time,
+            Time::minutes(Matrix::STORM_HORIZON_MINUTES)
+        );
+        // A congested Arbiter is a fault: the engine retry must engage so a
+        // fully-missed round is re-attempted.
+        let congested =
+            s.with_fault(FaultConfig::reliable().with_arbiter_service_time(Time::seconds(0.25)));
+        assert!(congested.sim_config().retry_interval.is_some());
+        // Batching alone is not a fault; no retry, no id noise beyond -k.
+        let batched = Scenario::new(ClusterKind::Rack16, 6, 42)
+            .with_fault(FaultConfig::reliable().with_arbiter_batch(8));
+        assert!(batched.sim_config().retry_interval.is_none());
     }
 
     #[test]

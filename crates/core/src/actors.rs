@@ -35,6 +35,17 @@
 //! app, never leak a GPU, even across an Arbiter failover that voids all
 //! in-flight wins.
 //!
+//! With [`FaultConfig::arbiter_service_time`] the Arbiter's mailbox
+//! becomes a single-server queue: every message to or from the Arbiter
+//! pays one service slot, so an N-agent ρ fan-in queues for N slots and
+//! replies can miss the phase deadline purely from congestion.
+//! [`FaultConfig::arbiter_batch`] opts this scheduler into coalesced
+//! messages — chunked `QueryRho` fan-out, [`ArbiterToAgent::OfferBatch`],
+//! [`AgentToArbiter::RhoBatch`] (forwarded by the chunk member whose
+//! delivery completed the chunk) and [`ArbiterToAgent::WinBatch`] — which
+//! cut the per-round Arbiter message count from O(apps) to
+//! O(apps / batch) without changing auction semantics.
+//!
 //! With [`FaultConfig::reliable`] every message delivers instantly, the
 //! whole cascade collapses back into one engine instant, and the decision
 //! stream is identical to the in-process
@@ -56,13 +67,14 @@ use themis_cluster::ids::{AppId, GpuId, JobId};
 use themis_cluster::time::Time;
 use themis_protocol::actor::{ActorId, TimerWheel};
 use themis_protocol::bid::BidTable;
+use themis_protocol::log::SendFate;
 use themis_protocol::messages::{
     AgentToArbiter, ArbiterToAgent, OfferMsg, RhoReport, WinNotification,
 };
 use themis_protocol::network::{LogMode, NetMsg, Network};
 use themis_protocol::transport::FaultConfig;
 use themis_sim::arena::AppArena;
-use themis_sim::scheduler::{AllocationDecision, Scheduler};
+use themis_sim::scheduler::{AllocationDecision, ControlPlaneStats, Scheduler};
 
 /// Every protocol message, wrapped so one [`Network`] carries both
 /// directions. Sizes are abstract units for the bandwidth model: offers
@@ -86,8 +98,17 @@ impl NetMsg for ProtoMsg {
             ProtoMsg::ToAgent(ArbiterToAgent::LeaseExpired { gpus, .. }) => {
                 format!("lease-expired:g{}", gpus.len())
             }
+            ProtoMsg::ToAgent(ArbiterToAgent::OfferBatch { offer, apps }) => {
+                format!("offer-batch:r{}:n{}", offer.round, apps.len())
+            }
+            ProtoMsg::ToAgent(ArbiterToAgent::WinBatch { round, wins }) => {
+                format!("win-batch:r{}:n{}", round, wins.len())
+            }
             ProtoMsg::ToArbiter(AgentToArbiter::Rho(r)) => {
                 format!("rho:r{}:a{}", r.round, r.app.0)
+            }
+            ProtoMsg::ToArbiter(AgentToArbiter::RhoBatch { round, reports }) => {
+                format!("rho-batch:r{}:n{}", round, reports.len())
             }
             ProtoMsg::ToArbiter(AgentToArbiter::Bid { round, table }) => {
                 format!("bid:r{}:a{}", round, table.app.0)
@@ -101,8 +122,17 @@ impl NetMsg for ProtoMsg {
     fn size_units(&self) -> u64 {
         match self {
             ProtoMsg::ToAgent(ArbiterToAgent::Offer(_))
+            | ProtoMsg::ToAgent(ArbiterToAgent::OfferBatch { .. })
             | ProtoMsg::ToArbiter(AgentToArbiter::Bid { .. }) => 4,
             ProtoMsg::ToAgent(ArbiterToAgent::Win(_)) => 2,
+            // A batch is as bulky as the messages it coalesces — batching
+            // saves per-message service slots, never wire bytes.
+            ProtoMsg::ToAgent(ArbiterToAgent::WinBatch { wins, .. }) => {
+                (2 * wins.len() as u64).max(1)
+            }
+            ProtoMsg::ToArbiter(AgentToArbiter::RhoBatch { reports, .. }) => {
+                (reports.len() as u64).max(1)
+            }
             _ => 1,
         }
     }
@@ -147,6 +177,18 @@ enum Phase {
     CollectBids,
 }
 
+/// One chunk of a batched QueryRho fan-out: how many of the chunk's
+/// deliveries are still outstanding, and the ρ reports collected so far.
+/// When the count hits zero the chunk member that completed it forwards
+/// the reports as one [`AgentToArbiter::RhoBatch`].
+struct RhoChunk {
+    /// QueryRho deliveries (per the send fates) not yet processed. Drops
+    /// never count — a fully-dropped chunk simply never reports, and the
+    /// ρ deadline absorbs it.
+    outstanding: usize,
+    reports: Vec<RhoReport>,
+}
+
 /// Arbiter-side state of the round in flight (at most one).
 struct RoundState {
     round: u64,
@@ -159,6 +201,10 @@ struct RoundState {
     /// Agents queried for ρ this round.
     queried: Vec<AppId>,
     rhos: BTreeMap<AppId, f64>,
+    /// Batched-mode ρ coalescing state (empty when batching is off).
+    rho_chunks: Vec<RhoChunk>,
+    /// Which chunk each queried app belongs to.
+    chunk_of: BTreeMap<AppId, usize>,
     /// World view frozen when the bid phase opened.
     statuses: Vec<AppStatus>,
     participants: Vec<AppId>,
@@ -355,7 +401,10 @@ impl DistributedThemisScheduler {
 
     /// The Agent actor's handler: answer ρ queries, bid on offers,
     /// acknowledge Wins (by confirming the pending grant) and count lease
-    /// notices. A crashed agent ignores round-scoped traffic.
+    /// notices. A crashed agent ignores round-scoped traffic — except that
+    /// in batched mode even a silent agent's QueryRho delivery still
+    /// decrements its chunk's outstanding count (the chunk must not wait
+    /// forever for a reply that will never exist).
     fn agent_receive(
         &mut self,
         at: Time,
@@ -374,10 +423,36 @@ impl DistributedThemisScheduler {
         let round = match &msg {
             ArbiterToAgent::QueryRho { round } => *round,
             ArbiterToAgent::Offer(o) => o.round,
+            ArbiterToAgent::OfferBatch { offer, .. } => offer.round,
             ArbiterToAgent::Win(w) => w.round,
+            ArbiterToAgent::WinBatch { round, .. } => *round,
             ArbiterToAgent::LeaseExpired { .. } => unreachable!("handled above"),
         };
-        if actor.crashed_until > round {
+        let crashed = actor.crashed_until > round;
+        if let ArbiterToAgent::QueryRho { round } = msg {
+            // A report exists only from a live, unfinished agent; crashed
+            // or finished ones stay silent (their chunk slot still
+            // resolves below).
+            let report = match apps.get(app) {
+                Some(runtime) if !crashed && !runtime.is_finished() => {
+                    let rho = actor.agent.current_rho(at, runtime, cluster).rho;
+                    Some(RhoReport { round, app, rho })
+                }
+                _ => None,
+            };
+            if self.fault.arbiter_batch > 0 {
+                self.note_rho_chunk_delivery(at, round, app, report);
+            } else if let Some(report) = report {
+                self.net.send(
+                    at,
+                    ActorId::agent(app),
+                    ActorId::ARBITER,
+                    ProtoMsg::ToArbiter(AgentToArbiter::Rho(report)),
+                );
+            }
+            return;
+        }
+        if crashed {
             // Crashed for this round: the message evaporates (a lost Win
             // is voided by the win deadline, never granted blind).
             return;
@@ -386,22 +461,14 @@ impl DistributedThemisScheduler {
             return;
         };
         match msg {
-            ArbiterToAgent::QueryRho { round } => {
+            ArbiterToAgent::Offer(offer) | ArbiterToAgent::OfferBatch { offer, .. } => {
+                // A batched offer reads exactly like an individual one: the
+                // recipient is addressed by construction, the app list only
+                // names the chunk.
                 if runtime.is_finished() {
                     return;
                 }
-                let rho = actor.agent.current_rho(at, runtime, cluster).rho;
-                self.net.send(
-                    at,
-                    ActorId::agent(app),
-                    ActorId::ARBITER,
-                    ProtoMsg::ToArbiter(AgentToArbiter::Rho(RhoReport { round, app, rho })),
-                );
-            }
-            ArbiterToAgent::Offer(offer) => {
-                if runtime.is_finished() {
-                    return;
-                }
+                let actor = self.agents.get_mut(&app).expect("actor exists");
                 let table = actor
                     .agent
                     .prepare_bid(at, runtime, cluster, &offer.resources);
@@ -417,27 +484,79 @@ impl DistributedThemisScheduler {
                     ProtoMsg::ToArbiter(reply),
                 );
             }
-            ArbiterToAgent::Win(win) => {
-                // Delivery confirms the grant: move it from pending to
-                // ready, release the reservation (the engine will
-                // allocate the GPUs for real when we return them).
-                if let Some(idx) = self.pending_wins.iter().position(|p| {
-                    p.round == win.round && p.decision.app == win.app && p.decision.job == win.job
-                }) {
-                    let pending = self.pending_wins.remove(idx);
-                    for gpu in &pending.decision.gpus {
-                        self.reserved.remove(gpu);
-                    }
-                    let round = pending.round;
-                    self.ready.push(pending.decision);
-                    if !self.pending_wins.iter().any(|p| p.round == round) {
-                        self.cancel_timer(Deadline::Win(round));
-                    }
-                } else {
-                    self.stats.stale_messages += 1;
+            ArbiterToAgent::Win(win) => self.confirm_win(&win),
+            ArbiterToAgent::WinBatch { wins, .. } => {
+                // Apply only this agent's entries; the rest of the batch
+                // belongs to the chunk's other winners.
+                for win in wins.iter().filter(|w| w.app == app) {
+                    self.confirm_win(win);
                 }
             }
-            ArbiterToAgent::LeaseExpired { .. } => unreachable!("handled above"),
+            ArbiterToAgent::QueryRho { .. } | ArbiterToAgent::LeaseExpired { .. } => {
+                unreachable!("handled above")
+            }
+        }
+    }
+
+    /// Confirms one delivered win: move the grant from pending to ready and
+    /// release its reservation (the engine will allocate the GPUs for real
+    /// when we return them).
+    fn confirm_win(&mut self, win: &WinNotification) {
+        if let Some(idx) = self.pending_wins.iter().position(|p| {
+            p.round == win.round && p.decision.app == win.app && p.decision.job == win.job
+        }) {
+            let pending = self.pending_wins.remove(idx);
+            for gpu in &pending.decision.gpus {
+                self.reserved.remove(gpu);
+            }
+            let round = pending.round;
+            self.ready.push(pending.decision);
+            if !self.pending_wins.iter().any(|p| p.round == round) {
+                self.cancel_timer(Deadline::Win(round));
+            }
+        } else {
+            self.stats.stale_messages += 1;
+        }
+    }
+
+    /// Batched-mode chunk bookkeeping for one QueryRho delivery: record the
+    /// report (if the agent produced one), and when the chunk's last
+    /// outstanding delivery resolves, forward the collected reports to the
+    /// Arbiter as a single [`AgentToArbiter::RhoBatch`] from the completing
+    /// live member. A chunk whose members were all silent sends nothing.
+    fn note_rho_chunk_delivery(
+        &mut self,
+        at: Time,
+        round: u64,
+        app: AppId,
+        report: Option<RhoReport>,
+    ) {
+        let Some(state) = self.state.as_mut().filter(|s| s.round == round) else {
+            // The round moved on (ρ deadline passed): a report now would be
+            // stale at the Arbiter anyway, so the delivery just evaporates.
+            return;
+        };
+        let Some(&idx) = state.chunk_of.get(&app) else {
+            return;
+        };
+        let chunk = &mut state.rho_chunks[idx];
+        if chunk.outstanding == 0 {
+            return;
+        }
+        chunk.outstanding -= 1;
+        if let Some(report) = report {
+            chunk.reports.push(report);
+        }
+        if chunk.outstanding == 0 && !chunk.reports.is_empty() {
+            let mut reports = std::mem::take(&mut chunk.reports);
+            reports.sort_by_key(|r| r.app);
+            let src = ActorId::agent(reports.last().expect("nonempty").app);
+            self.net.send(
+                at,
+                src,
+                ActorId::ARBITER,
+                ProtoMsg::ToArbiter(AgentToArbiter::RhoBatch { round, reports }),
+            );
         }
     }
 
@@ -458,6 +577,17 @@ impl DistributedThemisScheduler {
             AgentToArbiter::Rho(report) if report.round == round && phase == Phase::CollectRho => {
                 let state = self.state.as_mut().expect("round in flight");
                 state.rhos.insert(report.app, report.rho);
+                if state.rhos.len() == state.queried.len() {
+                    self.advance_to_bids(at, cluster, apps);
+                }
+            }
+            AgentToArbiter::RhoBatch { round: r, reports }
+                if r == round && phase == Phase::CollectRho =>
+            {
+                let state = self.state.as_mut().expect("round in flight");
+                for report in reports {
+                    state.rhos.insert(report.app, report.rho);
+                }
                 if state.rhos.len() == state.queried.len() {
                     self.advance_to_bids(at, cluster, apps);
                 }
@@ -525,11 +655,15 @@ impl DistributedThemisScheduler {
         let round = state.round;
         self.cancel_timer(Deadline::Rho(round));
         state.phase = Phase::CollectBids;
-        self.stats.missed_rho_reports += state
+        let missed = state
             .queried
             .iter()
             .filter(|app| !state.rhos.contains_key(app))
             .count() as u64;
+        self.stats.missed_rho_reports += missed;
+        if missed == 0 {
+            self.stats.completed_rounds += 1;
+        }
         let mut statuses: Vec<AppStatus> = Vec::new();
         for (&app, &rho) in &state.rhos {
             let Some(runtime) = apps.get(app) else {
@@ -562,13 +696,29 @@ impl DistributedThemisScheduler {
         state.statuses = statuses;
         state.participants = participants.clone();
         self.state = Some(state);
-        for &app in &participants {
-            self.net.send(
-                at,
-                ActorId::ARBITER,
-                ActorId::agent(app),
-                ProtoMsg::ToAgent(ArbiterToAgent::Offer(offer_msg.clone())),
-            );
+        let batch = self.fault.arbiter_batch as usize;
+        if batch > 0 {
+            for chunk in participants.chunks(batch) {
+                let dsts: Vec<ActorId> = chunk.iter().map(|&a| ActorId::agent(a)).collect();
+                self.net.send_multi(
+                    at,
+                    ActorId::ARBITER,
+                    &dsts,
+                    ProtoMsg::ToAgent(ArbiterToAgent::OfferBatch {
+                        offer: offer_msg.clone(),
+                        apps: chunk.to_vec(),
+                    }),
+                );
+            }
+        } else {
+            for &app in &participants {
+                self.net.send(
+                    at,
+                    ActorId::ARBITER,
+                    ActorId::agent(app),
+                    ProtoMsg::ToAgent(ArbiterToAgent::Offer(offer_msg.clone())),
+                );
+            }
         }
         if participants.is_empty() {
             // Vacuously complete: run the (empty) auction right away so
@@ -642,19 +792,49 @@ impl DistributedThemisScheduler {
         // Notify winners; each grant stays reserved until its Win lands.
         let lease_expires_at = at + self.config.lease_duration;
         let any = !decisions.is_empty();
+        let win_of = |d: &AllocationDecision| WinNotification {
+            round,
+            app: d.app,
+            job: d.job,
+            gpus: d.gpus.clone(),
+            lease_expires_at,
+        };
+        let batch = self.fault.arbiter_batch as usize;
+        if batch > 0 {
+            // Chunk the *winners* (in decision order); each chunk's batch
+            // carries every win bound for a chunk member, and each member
+            // filters out its own on delivery.
+            let mut winners: Vec<AppId> = Vec::new();
+            for d in &decisions {
+                if !winners.contains(&d.app) {
+                    winners.push(d.app);
+                }
+            }
+            for chunk in winners.chunks(batch) {
+                let wins: Vec<WinNotification> = decisions
+                    .iter()
+                    .filter(|d| chunk.contains(&d.app))
+                    .map(win_of)
+                    .collect();
+                let dsts: Vec<ActorId> = chunk.iter().map(|&a| ActorId::agent(a)).collect();
+                self.net.send_multi(
+                    at,
+                    ActorId::ARBITER,
+                    &dsts,
+                    ProtoMsg::ToAgent(ArbiterToAgent::WinBatch { round, wins }),
+                );
+            }
+        } else {
+            for decision in &decisions {
+                self.net.send(
+                    at,
+                    ActorId::ARBITER,
+                    ActorId::agent(decision.app),
+                    ProtoMsg::ToAgent(ArbiterToAgent::Win(win_of(decision))),
+                );
+            }
+        }
         for decision in decisions {
-            self.net.send(
-                at,
-                ActorId::ARBITER,
-                ActorId::agent(decision.app),
-                ProtoMsg::ToAgent(ArbiterToAgent::Win(WinNotification {
-                    round,
-                    app: decision.app,
-                    job: decision.job,
-                    gpus: decision.gpus.clone(),
-                    lease_expires_at,
-                })),
-            );
             for &gpu in &decision.gpus {
                 self.reserved.insert(gpu, (decision.app, decision.job));
             }
@@ -699,13 +879,42 @@ impl DistributedThemisScheduler {
 
         let bid_deadline = now + self.bid_deadline;
         let rho_deadline = now + self.bid_deadline * 0.5;
-        for &app in &schedulable {
-            self.net.send(
-                now,
-                ActorId::ARBITER,
-                ActorId::agent(app),
-                ProtoMsg::ToAgent(ArbiterToAgent::QueryRho { round }),
-            );
+        let batch = self.fault.arbiter_batch as usize;
+        let mut rho_chunks: Vec<RhoChunk> = Vec::new();
+        let mut chunk_of: BTreeMap<AppId, usize> = BTreeMap::new();
+        if batch > 0 {
+            for chunk in schedulable.chunks(batch) {
+                let dsts: Vec<ActorId> = chunk.iter().map(|&a| ActorId::agent(a)).collect();
+                let fates = self.net.send_multi(
+                    now,
+                    ActorId::ARBITER,
+                    &dsts,
+                    ProtoMsg::ToAgent(ArbiterToAgent::QueryRho { round }),
+                );
+                // Only deliveries can resolve a chunk slot: a dropped query
+                // never arrives, so it must not be waited for.
+                let outstanding = fates
+                    .iter()
+                    .filter(|f| matches!(f, SendFate::Deliver { .. }))
+                    .count();
+                let idx = rho_chunks.len();
+                for &app in chunk {
+                    chunk_of.insert(app, idx);
+                }
+                rho_chunks.push(RhoChunk {
+                    outstanding,
+                    reports: Vec::new(),
+                });
+            }
+        } else {
+            for &app in &schedulable {
+                self.net.send(
+                    now,
+                    ActorId::ARBITER,
+                    ActorId::agent(app),
+                    ProtoMsg::ToAgent(ArbiterToAgent::QueryRho { round }),
+                );
+            }
         }
         self.state = Some(RoundState {
             round,
@@ -714,6 +923,8 @@ impl DistributedThemisScheduler {
             bid_deadline,
             queried: schedulable,
             rhos: BTreeMap::new(),
+            rho_chunks,
+            chunk_of,
             statuses: Vec::new(),
             participants: Vec::new(),
             tables: BTreeMap::new(),
@@ -855,6 +1066,10 @@ impl Scheduler for DistributedThemisScheduler {
     /// the call would change behaviour.
     fn supports_incremental(&self) -> bool {
         false
+    }
+
+    fn control_stats(&self) -> Option<ControlPlaneStats> {
+        Some(self.stats.control())
     }
 }
 

@@ -62,7 +62,7 @@ use themis_protocol::messages::{
 use themis_protocol::transport::{Endpoint, FaultConfig, InMemoryLink, Transport};
 use themis_sim::app_runtime::AppRuntime;
 use themis_sim::arena::AppArena;
-use themis_sim::scheduler::{AllocationDecision, Scheduler};
+use themis_sim::scheduler::{AllocationDecision, ControlPlaneStats, Scheduler};
 
 /// Counters describing how the message flow fared across rounds. Purely
 /// observational — used by tests and diagnostics.
@@ -70,6 +70,11 @@ use themis_sim::scheduler::{AllocationDecision, Scheduler};
 pub struct DistStats {
     /// Rounds attempted (a round with an empty offer is not attempted).
     pub rounds: u64,
+    /// Rounds in which every queried agent's ρ report arrived in time (a
+    /// round with nobody to query counts as complete). `rounds −
+    /// completed_rounds` is the missed-round count the storm matrix
+    /// reports.
+    pub completed_rounds: u64,
     /// ρ queries whose report never arrived by the bid deadline.
     pub missed_rho_reports: u64,
     /// Offers whose bid (or pass) never arrived by the bid deadline.
@@ -83,6 +88,20 @@ pub struct DistStats {
     /// Arbiter failovers (actor runtime only): the standby Arbiter took
     /// over, voiding every in-flight Win notification.
     pub failovers: u64,
+}
+
+impl DistStats {
+    /// The subset of counters reported to the engine as
+    /// [`ControlPlaneStats`].
+    pub fn control(&self) -> ControlPlaneStats {
+        ControlPlaneStats {
+            rounds: self.rounds,
+            completed_rounds: self.completed_rounds,
+            missed_rho_reports: self.missed_rho_reports,
+            missed_bids: self.missed_bids,
+            voided_wins: self.voided_wins,
+        }
+    }
 }
 
 /// The Agent process: reacts to Arbiter messages arriving on its endpoint.
@@ -133,10 +152,14 @@ impl AgentNode {
                 }
                 // A query, offer or win from a round whose deadline has
                 // passed: the auction it belonged to is over, so reacting
-                // would only inject confusion. Count and drop.
+                // would only inject confusion. Count and drop. (The batch
+                // variants are actor-runtime-only; this instant path never
+                // sends them, so they can only be stale.)
                 ArbiterToAgent::QueryRho { .. }
                 | ArbiterToAgent::Offer(_)
-                | ArbiterToAgent::Win(_) => {
+                | ArbiterToAgent::Win(_)
+                | ArbiterToAgent::OfferBatch { .. }
+                | ArbiterToAgent::WinBatch { .. } => {
                     self.stale += 1;
                 }
             }
@@ -358,6 +381,9 @@ impl Scheduler for InstantDistributedScheduler {
                 self.stats.missed_rho_reports += 1;
             }
         }
+        if schedulable.iter().all(|app| rhos.contains_key(app)) {
+            self.stats.completed_rounds += 1;
+        }
 
         // Apps that answered this round form the auction's world view;
         // everyone else is retried next round.
@@ -468,6 +494,10 @@ impl Scheduler for InstantDistributedScheduler {
     /// incremental skip would desynchronize the simulated control plane.
     fn supports_incremental(&self) -> bool {
         false
+    }
+
+    fn control_stats(&self) -> Option<ControlPlaneStats> {
+        Some(self.stats.control())
     }
 }
 

@@ -10,6 +10,20 @@
 //! 5. Arbiter → winning Agents: [`ArbiterToAgent::Win`]
 //!
 //! Lease expiry notifications round out the lifecycle.
+//!
+//! ## Coalesced (batch) messages
+//!
+//! Under Arbiter congestion ([`FaultConfig::arbiter_service_time`]) every
+//! message pays a service-time slot at the Arbiter's inbox, so an
+//! O(apps) storm of individual ρ replies or Win notices queues for
+//! O(apps) service slots. The batch variants — [`AgentToArbiter::RhoBatch`],
+//! [`ArbiterToAgent::OfferBatch`] and [`ArbiterToAgent::WinBatch`] — carry
+//! the same payloads coalesced into one message per agent chunk, dropping
+//! the per-round message count to O(batches). They are pure containers:
+//! receivers unpack them into the exact per-app messages they coalesce, so
+//! enabling batching changes delivery *timing*, never auction semantics.
+//!
+//! [`FaultConfig::arbiter_service_time`]: crate::transport::FaultConfig::arbiter_service_time
 
 use crate::bid::BidTable;
 use serde::{Deserialize, Serialize};
@@ -80,6 +94,24 @@ pub enum ArbiterToAgent {
         /// When the reclamation happened.
         at: Time,
     },
+    /// Step 3, coalesced: one offer addressed to a chunk of participants.
+    /// Each recipient listed in `apps` treats it exactly as an
+    /// [`Offer`](Self::Offer) to itself.
+    OfferBatch {
+        /// The shared offer (round, resources, reply-by).
+        offer: OfferMsg,
+        /// The participants this chunk addresses.
+        apps: Vec<AppId>,
+    },
+    /// Step 5, coalesced: every win notification of the round bound for a
+    /// chunk of winners. Each recipient applies only the entries whose
+    /// `app` is its own.
+    WinBatch {
+        /// Auction round these allocations were decided in.
+        round: u64,
+        /// The coalesced win notifications, in decision order.
+        wins: Vec<WinNotification>,
+    },
 }
 
 /// Messages flowing from an Agent to the Arbiter.
@@ -101,6 +133,15 @@ pub enum AgentToArbiter {
         /// The passing app.
         app: AppId,
     },
+    /// Step 2, coalesced: the ρ reports of one agent chunk, forwarded in
+    /// a single message by the chunk member that completed the set. Never
+    /// sent empty.
+    RhoBatch {
+        /// The auction round all coalesced reports answer.
+        round: u64,
+        /// The chunk's reports, in app-id order.
+        reports: Vec<RhoReport>,
+    },
 }
 
 impl ArbiterToAgent {
@@ -111,17 +152,24 @@ impl ArbiterToAgent {
             ArbiterToAgent::Offer(o) => Some(o.round),
             ArbiterToAgent::Win(w) => Some(w.round),
             ArbiterToAgent::LeaseExpired { .. } => None,
+            ArbiterToAgent::OfferBatch { offer, .. } => Some(offer.round),
+            ArbiterToAgent::WinBatch { round, .. } => Some(*round),
         }
     }
 }
 
 impl AgentToArbiter {
-    /// The app that sent this message.
+    /// The app that sent this message. For a [`RhoBatch`](Self::RhoBatch)
+    /// (which carries several apps' reports) this is the first coalesced
+    /// report's app; batches are never sent empty.
     pub fn app(&self) -> AppId {
         match self {
             AgentToArbiter::Rho(r) => r.app,
             AgentToArbiter::Bid { table, .. } => table.app,
             AgentToArbiter::Pass { app, .. } => *app,
+            AgentToArbiter::RhoBatch { reports, .. } => {
+                reports.first().expect("batches are never empty").app
+            }
         }
     }
 
@@ -131,6 +179,7 @@ impl AgentToArbiter {
             AgentToArbiter::Rho(r) => Some(r.round),
             AgentToArbiter::Bid { round, .. } => Some(*round),
             AgentToArbiter::Pass { round, .. } => Some(*round),
+            AgentToArbiter::RhoBatch { round, .. } => Some(*round),
         }
     }
 }
@@ -183,6 +232,45 @@ mod tests {
         };
         assert_eq!(pass.app(), AppId(9));
         assert_eq!(pass.round(), Some(2));
+    }
+
+    #[test]
+    fn batch_messages_know_their_round_and_app() {
+        let offer = OfferMsg {
+            round: 11,
+            now: Time::minutes(1.0),
+            resources: FreeVector::from_counts([(MachineId(0), 2)]),
+            reply_by: Time::minutes(1.5),
+        };
+        let batch = ArbiterToAgent::OfferBatch {
+            offer,
+            apps: vec![AppId(0), AppId(3)],
+        };
+        assert_eq!(batch.round(), Some(11));
+
+        let wins = ArbiterToAgent::WinBatch {
+            round: 12,
+            wins: Vec::new(),
+        };
+        assert_eq!(wins.round(), Some(12));
+
+        let rhos = AgentToArbiter::RhoBatch {
+            round: 13,
+            reports: vec![
+                RhoReport {
+                    round: 13,
+                    app: AppId(2),
+                    rho: 1.5,
+                },
+                RhoReport {
+                    round: 13,
+                    app: AppId(5),
+                    rho: 0.5,
+                },
+            ],
+        };
+        assert_eq!(rhos.round(), Some(13));
+        assert_eq!(rhos.app(), AppId(2));
     }
 
     #[test]

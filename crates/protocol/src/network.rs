@@ -9,6 +9,15 @@
 //! overlap in simulated time and a slow Agent's Bid genuinely races the
 //! bid deadline.
 //!
+//! With [`FaultConfig::arbiter_service_time`] set, the Arbiter itself
+//! becomes a congestion point: every message it sends or receives passes
+//! through one shared single-server queue (`max(arrival, server busy) +
+//! service_time`, the same serialization shape as the per-link bandwidth
+//! model), so a broadcast to N Agents costs N egress slots and an
+//! all-agent reply storm drains one service time at a time.
+//! [`Network::send_multi`] is the coalescing escape hatch: one service
+//! slot for a whole destination group.
+//!
 //! Every decision the network makes — each send with its fate (delivery
 //! time or drop), each delivery — is appended to a
 //! [`MessageLog`] when recording, and *taken from*
@@ -127,6 +136,13 @@ pub struct Network<M> {
     /// Per directed link: when the link finishes transferring the last
     /// message it accepted (bandwidth modelling).
     busy_until: BTreeMap<(ActorId, ActorId), Time>,
+    /// When the Arbiter's single-server mailbox frees up again
+    /// ([`FaultConfig::arbiter_service_time`]). One shared server for both
+    /// directions: egress serialization and ingress absorption queue on
+    /// the same Arbiter CPU, which is what makes an all-agent reply storm
+    /// take `N × service_time` to drain. Only consulted live — replay
+    /// takes delivery times from the log.
+    arbiter_busy_until: Time,
     /// Actors currently cut off by a partition. A message is dropped when
     /// exactly one of `{src, dst}` is isolated.
     isolated: BTreeSet<ActorId>,
@@ -154,6 +170,7 @@ impl<M: NetMsg> Network<M> {
             in_flight: BTreeMap::new(),
             next_seq: 0,
             busy_until: BTreeMap::new(),
+            arbiter_busy_until: Time::ZERO,
             isolated: BTreeSet::new(),
             mode,
             stats: NetStats::default(),
@@ -166,13 +183,61 @@ impl<M: NetMsg> Network<M> {
     /// from the log instead of the RNG; a mismatch with what the log
     /// recorded panics with a replay-divergence diagnostic.
     pub fn send(&mut self, now: Time, src: ActorId, dst: ActorId, msg: M) -> SendFate {
+        self.send_leg(now, None, src, dst, msg)
+    }
+
+    /// Sends one broadcast message to every destination: the Arbiter
+    /// serializes it **once** (one [`FaultConfig::arbiter_service_time`]
+    /// slot for the whole group), then every destination gets an
+    /// independent wire leg — its own drop draw, jitter draw, seq and log
+    /// record, exactly as if sent individually. This is the fan-out side
+    /// of message coalescing: `⌈N/B⌉` `send_multi` calls charge the
+    /// Arbiter `⌈N/B⌉` service slots where `N` individual [`Network::send`]
+    /// calls would charge `N`.
+    ///
+    /// Returns the per-destination fates in `dsts` order.
+    pub fn send_multi(&mut self, now: Time, src: ActorId, dsts: &[ActorId], msg: M) -> Vec<SendFate>
+    where
+        M: Clone,
+    {
+        if dsts.is_empty() {
+            return Vec::new();
+        }
+        // The one shared service slot. Skipped in replay — delivery times
+        // there come from the log, so the live server model is never
+        // consulted and must not mutate state.
+        let floor = match self.mode {
+            LogMode::Replay(_) => now,
+            _ => self.arbiter_egress_floor(now, src),
+        };
+        dsts.iter()
+            .map(|&dst| self.send_leg(now, Some(floor), src, dst, msg.clone()))
+            .collect()
+    }
+
+    /// One point-to-point send. `wire_floor` is the earliest time the wire
+    /// leg may start: `None` charges the sender's own Arbiter egress
+    /// service slot (the plain [`Network::send`] path), `Some(t)` reuses a
+    /// slot already charged by [`Network::send_multi`].
+    fn send_leg(
+        &mut self,
+        now: Time,
+        wire_floor: Option<Time>,
+        src: ActorId,
+        dst: ActorId,
+        msg: M,
+    ) -> SendFate {
         let seq = self.next_seq;
         self.next_seq += 1;
         let tag = msg.log_tag();
         let fate = match &mut self.mode {
             LogMode::Replay(cursor) => cursor.expect_send(seq, now, src, dst, &tag),
             _ => {
-                let fate = self.decide_fate(now, src, dst, &msg);
+                let floor = match wire_floor {
+                    Some(t) => t,
+                    None => self.arbiter_egress_floor(now, src),
+                };
+                let fate = self.decide_fate(now, floor, src, dst, &msg);
                 if let LogMode::Record(log) = &self.mode {
                     log.lock().push(LogRecord::Send {
                         seq,
@@ -197,10 +262,39 @@ impl<M: NetMsg> Network<M> {
         fate
     }
 
+    /// Charges one Arbiter service slot starting no earlier than `t` and
+    /// returns when it completes: `max(t, server busy) + service_time`.
+    fn arbiter_service(&mut self, t: Time) -> Time {
+        let start = t.max(self.arbiter_busy_until);
+        self.arbiter_busy_until = start + self.fault.arbiter_service_time;
+        self.arbiter_busy_until
+    }
+
+    /// Egress side of the service model: a message the Arbiter sends must
+    /// first be serialized by its single-threaded server, so the wire leg
+    /// cannot start before the service slot completes. Dropped messages
+    /// still paid for serialization — the wire lost them afterwards.
+    fn arbiter_egress_floor(&mut self, now: Time, src: ActorId) -> Time {
+        if src == ActorId::ARBITER && self.fault.arbiter_service_time > Time::ZERO {
+            self.arbiter_service(now)
+        } else {
+            now
+        }
+    }
+
     /// The live (non-replay) fate decision: partition check, drop draw,
     /// then the causal delivery time
-    /// `max(now, link busy) + size/bandwidth + delay + jitter`.
-    fn decide_fate(&mut self, now: Time, src: ActorId, dst: ActorId, msg: &M) -> SendFate {
+    /// `max(wire_floor, link busy) + size/bandwidth + delay + jitter`,
+    /// plus — for messages addressed to the Arbiter — the inbox queue
+    /// delay `max(arrival, server busy) + service_time`.
+    fn decide_fate(
+        &mut self,
+        _now: Time,
+        wire_floor: Time,
+        src: ActorId,
+        dst: ActorId,
+        msg: &M,
+    ) -> SendFate {
         if self.isolated.contains(&src) != self.isolated.contains(&dst) {
             return SendFate::DropPartition;
         }
@@ -213,7 +307,7 @@ impl<M: NetMsg> Network<M> {
             .get(&(src, dst))
             .copied()
             .unwrap_or(Time::ZERO);
-        let start = now.max(busy);
+        let start = wire_floor.max(busy);
         let transfer = if self.fault.bandwidth > 0.0 {
             Time::minutes(msg.size_units() as f64 / self.fault.bandwidth)
         } else {
@@ -227,9 +321,16 @@ impl<M: NetMsg> Network<M> {
         } else {
             Time::ZERO
         };
-        SendFate::Deliver {
-            at: start + transfer + self.fault.delay + jitter,
-        }
+        let arrival = start + transfer + self.fault.delay + jitter;
+        // Ingress side of the service model: the Arbiter's mailbox is an
+        // M/D/1-style queue — a message is only *delivered* (visible to
+        // the Arbiter actor) once the server has absorbed it.
+        let at = if dst == ActorId::ARBITER && self.fault.arbiter_service_time > Time::ZERO {
+            self.arbiter_service(arrival)
+        } else {
+            arrival
+        };
+        SendFate::Deliver { at }
     }
 
     /// The earliest pending delivery time, if any — the network's
@@ -303,7 +404,7 @@ impl<M: NetMsg> Network<M> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Msg(&'static str, u64);
 
     impl NetMsg for Msg {
@@ -437,6 +538,93 @@ mod tests {
             );
             assert_eq!(fate, *expected);
         }
+        while net.pop_due(Time::INFINITY).is_some() {}
+    }
+
+    #[test]
+    fn arbiter_inbox_serializes_fan_in() {
+        // Three agents answer at the same instant; the Arbiter's server
+        // absorbs one message per minute, so deliveries queue at 1, 2, 3.
+        let fault = FaultConfig::reliable().with_arbiter_service_time(Time::minutes(1.0));
+        let mut net = Network::new(fault, LogMode::Off);
+        for i in 0..3 {
+            net.send(Time::ZERO, ActorId(i), ActorId::ARBITER, Msg("rho", 1));
+        }
+        assert_eq!(
+            drain(&mut net, Time::minutes(10.0)),
+            vec![
+                (Time::minutes(1.0), "rho"),
+                (Time::minutes(2.0), "rho"),
+                (Time::minutes(3.0), "rho"),
+            ]
+        );
+        // Agent-to-agent traffic never touches the Arbiter's server.
+        let mut net = Network::new(fault, LogMode::Off);
+        net.send(Time::ZERO, ActorId(0), ActorId(1), Msg("peer", 1));
+        assert_eq!(
+            drain(&mut net, Time::minutes(10.0)),
+            vec![(Time::ZERO, "peer")]
+        );
+    }
+
+    #[test]
+    fn arbiter_egress_charges_per_send_but_once_per_multi() {
+        let fault = FaultConfig::reliable().with_arbiter_service_time(Time::minutes(1.0));
+        // Individual sends: the broadcast costs N service slots.
+        let mut net = Network::new(fault, LogMode::Off);
+        for i in 0..3 {
+            net.send(Time::ZERO, ActorId::ARBITER, ActorId(i), Msg("q", 1));
+        }
+        assert_eq!(
+            drain(&mut net, Time::minutes(10.0))
+                .into_iter()
+                .map(|(at, _)| at)
+                .collect::<Vec<_>>(),
+            vec![Time::minutes(1.0), Time::minutes(2.0), Time::minutes(3.0)]
+        );
+        // One send_multi: one slot, every destination hears it together.
+        let mut net = Network::new(fault, LogMode::Off);
+        let dsts: Vec<ActorId> = (0..3).map(ActorId).collect();
+        let fates = net.send_multi(Time::ZERO, ActorId::ARBITER, &dsts, Msg("q", 1));
+        assert_eq!(fates.len(), 3);
+        assert_eq!(
+            drain(&mut net, Time::minutes(10.0))
+                .into_iter()
+                .map(|(at, _)| at)
+                .collect::<Vec<_>>(),
+            vec![Time::minutes(1.0); 3]
+        );
+        // Egress and ingress share the server: a reply arriving while the
+        // Arbiter is still serializing its broadcast waits its turn.
+        let mut net = Network::new(fault, LogMode::Off);
+        net.send(Time::ZERO, ActorId::ARBITER, ActorId(0), Msg("q", 1));
+        net.send(Time::ZERO, ActorId(1), ActorId::ARBITER, Msg("rho", 1));
+        assert_eq!(
+            drain(&mut net, Time::minutes(10.0)),
+            vec![(Time::minutes(1.0), "q"), (Time::minutes(2.0), "rho")]
+        );
+    }
+
+    #[test]
+    fn send_multi_records_and_replays_per_destination_fates() {
+        let fault = FaultConfig::reliable()
+            .with_drop_probability(0.4)
+            .with_arbiter_service_time(Time::seconds(2.0))
+            .with_seed(17);
+        let dsts: Vec<ActorId> = (0..8).map(ActorId).collect();
+        let log = Arc::new(Mutex::new(MessageLog::new()));
+        let recorded;
+        {
+            let mut net = Network::new(fault, LogMode::record(Arc::clone(&log)));
+            recorded = net.send_multi(Time::ZERO, ActorId::ARBITER, &dsts, Msg("q", 1));
+            while net.pop_due(Time::INFINITY).is_some() {}
+        }
+        let log = Arc::new(Arc::try_unwrap(log).unwrap().into_inner());
+        // A different seed cannot change replayed fates: they come from the
+        // log, and the live server model is never consulted.
+        let mut net = Network::new(fault.with_seed(4242), LogMode::replay(log));
+        let replayed = net.send_multi(Time::ZERO, ActorId::ARBITER, &dsts, Msg("q", 1));
+        assert_eq!(replayed, recorded);
         while net.pop_due(Time::INFINITY).is_some() {}
     }
 

@@ -102,6 +102,21 @@ pub struct FaultConfig {
     /// standby takes over with no memory of in-flight Wins (which are
     /// voided, never leaked). `0` disables failover injection.
     pub failover_period: u64,
+    /// Per-message service time of the Arbiter process. The Arbiter's
+    /// mailbox becomes an M/D/1-style queue: every message it sends or
+    /// receives occupies its single server for this long, so a fan-in storm
+    /// of N replies takes N service times to absorb and later replies can
+    /// overshoot the round deadlines. Interpreted by the actor-based
+    /// [`Network`](crate::network::Network); `Time::ZERO` disables the
+    /// model entirely (observationally pure).
+    pub arbiter_service_time: Time,
+    /// Maximum messages coalesced per batched protocol message. When the
+    /// actor scheduler opts into batching (`> 0`), broadcast fan-out and
+    /// ρ-report fan-in travel as `⌈N/B⌉` batch messages instead of `N`
+    /// singletons, each charging the Arbiter one service slot. `0`
+    /// disables batching. The knob alone injects no fault — it only
+    /// matters once `arbiter_service_time` makes messages expensive.
+    pub arbiter_batch: u64,
 }
 
 /// The default is [`FaultConfig::reliable`]: no drops, zero latency, no
@@ -119,6 +134,8 @@ impl Default for FaultConfig {
             partition_period: 0,
             partition_rounds: 0,
             failover_period: 0,
+            arbiter_service_time: Time::ZERO,
+            arbiter_batch: 0,
         }
     }
 }
@@ -150,12 +167,16 @@ impl FaultConfig {
     /// `true` when this configuration injects no fault of any kind. A
     /// crash or partition schedule needs both a period and a duration;
     /// either being zero disables it. Finite bandwidth counts as a fault:
-    /// it serializes messages and so perturbs delivery times.
+    /// it serializes messages and so perturbs delivery times, and a
+    /// non-zero Arbiter service time does the same at the Arbiter's
+    /// mailbox. `arbiter_batch` alone injects nothing: coalescing only
+    /// changes message granularity, never drops or delays anything.
     pub fn is_reliable(&self) -> bool {
         self.drop_probability == 0.0
             && self.delay == Time::ZERO
             && self.jitter == Time::ZERO
             && self.bandwidth == 0.0
+            && self.arbiter_service_time == Time::ZERO
             && (self.crash_period == 0 || self.crash_rounds == 0)
             && (self.partition_period == 0 || self.partition_rounds == 0)
             && self.failover_period == 0
@@ -231,6 +252,26 @@ impl FaultConfig {
     #[must_use]
     pub fn with_failover(mut self, period: u64) -> Self {
         self.failover_period = period;
+        self
+    }
+
+    /// Sets the Arbiter's per-message service time (`Time::ZERO` disables
+    /// the mailbox-queue model).
+    #[must_use]
+    pub fn with_arbiter_service_time(mut self, service_time: Time) -> Self {
+        assert!(
+            service_time >= Time::ZERO,
+            "arbiter service time must be non-negative"
+        );
+        self.arbiter_service_time = service_time;
+        self
+    }
+
+    /// Sets the maximum messages per batched protocol message (`0`
+    /// disables batching).
+    #[must_use]
+    pub fn with_arbiter_batch(mut self, batch: u64) -> Self {
+        self.arbiter_batch = batch;
         self
     }
 }
@@ -526,6 +567,22 @@ mod tests {
         // …but a degenerate partition schedule injects nothing.
         assert!(FaultConfig::reliable().with_partition(3, 0).is_reliable());
         assert!(FaultConfig::reliable().with_partition(0, 2).is_reliable());
+    }
+
+    #[test]
+    fn arbiter_backpressure_builders_compose() {
+        let fault = FaultConfig::reliable()
+            .with_arbiter_service_time(Time::seconds(0.5))
+            .with_arbiter_batch(16);
+        assert_eq!(fault.arbiter_service_time, Time::seconds(0.5));
+        assert_eq!(fault.arbiter_batch, 16);
+        // A congested Arbiter perturbs delivery times, so it is a fault…
+        assert!(!fault.is_reliable());
+        assert!(!FaultConfig::reliable()
+            .with_arbiter_service_time(Time::seconds(0.1))
+            .is_reliable());
+        // …but batching alone only changes message granularity.
+        assert!(FaultConfig::reliable().with_arbiter_batch(8).is_reliable());
     }
 
     #[test]

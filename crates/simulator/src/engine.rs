@@ -50,6 +50,12 @@ pub struct SimConfig {
     /// strand unfinished apps. `None` (the default) preserves the classic
     /// purely event-driven behavior.
     pub retry_interval: Option<Time>,
+    /// Per-round bid deadline override for the distributed protocol modes
+    /// (storm scenarios shrink or stretch it to probe deadline scaling).
+    /// `None` keeps each scheduler's own default (30 s). The engine itself
+    /// never reads this — policy builders pass it to the scheduler they
+    /// construct.
+    pub bid_deadline: Option<Time>,
     /// Incremental round hot path: skip the policy call on a round where
     /// the offer set is clean (no arrival, no lease reclaim, no GPU
     /// release since the last auction) *and* no grant is possible (zero
@@ -71,6 +77,7 @@ impl Default for SimConfig {
             max_sim_time: Time::minutes(1_000_000.0),
             fault: FaultConfig::reliable(),
             retry_interval: None,
+            bid_deadline: None,
             incremental: false,
         }
     }
@@ -105,6 +112,13 @@ impl SimConfig {
     pub fn with_retry_interval(mut self, interval: Time) -> Self {
         assert!(interval > Time::ZERO, "retry interval must be positive");
         self.retry_interval = Some(interval);
+        self
+    }
+
+    /// Overrides the distributed protocol's per-round bid deadline.
+    pub fn with_bid_deadline(mut self, deadline: Time) -> Self {
+        assert!(deadline > Time::ZERO, "bid deadline must be positive");
+        self.bid_deadline = Some(deadline);
         self
     }
 
@@ -364,6 +378,7 @@ impl<S: Scheduler> Engine<S> {
         for rt in self.apps.iter_mut() {
             rt.try_finish(self.now);
         }
+        let control = self.scheduler.control_stats();
         SimReport::from_apps(
             self.scheduler.name(),
             &self.apps,
@@ -371,6 +386,7 @@ impl<S: Scheduler> Engine<S> {
             self.peak_contention,
             self.scheduling_rounds,
         )
+        .with_control(control)
     }
 
     /// Advances training progress of every running job to time `t`.

@@ -13,6 +13,7 @@
 
 use crate::app_runtime::AppRuntime;
 use crate::arena::AppArena;
+use crate::scheduler::ControlPlaneStats;
 use serde::{Deserialize, Serialize};
 use themis_cluster::ids::AppId;
 use themis_cluster::time::Time;
@@ -80,6 +81,11 @@ pub struct SimReport {
     pub peak_contention: f64,
     /// Number of scheduling rounds (auctions) that were run.
     pub scheduling_rounds: u64,
+    /// Control-plane round counters, present only for message-driven
+    /// schedulers (the distributed Themis modes). See
+    /// [`ControlPlaneStats`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub control: Option<ControlPlaneStats>,
 }
 
 impl SimReport {
@@ -102,7 +108,16 @@ impl SimReport {
             end_time,
             peak_contention,
             scheduling_rounds,
+            control: None,
         }
+    }
+
+    /// Attaches the scheduler's control-plane counters (the engine calls
+    /// this when building the final report).
+    #[must_use]
+    pub fn with_control(mut self, control: Option<ControlPlaneStats>) -> Self {
+        self.control = control;
+        self
     }
 
     /// Splices retirement-time outcomes back into a report over the apps
@@ -256,6 +271,7 @@ mod tests {
             end_time: Time::minutes(100.0),
             peak_contention: 2.0,
             scheduling_rounds: 5,
+            control: None,
         }
     }
 

@@ -13,6 +13,7 @@
 
 use crate::app_runtime::AppRuntime;
 use crate::arena::AppArena;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use themis_cluster::cluster::Cluster;
 use themis_cluster::ids::{AppId, GpuId, JobId, MachineId};
@@ -30,6 +31,41 @@ pub struct AllocationDecision {
     /// The concrete GPUs granted. Must be free in the cluster at decision
     /// time; the engine validates this.
     pub gpus: Vec<GpuId>,
+}
+
+/// Control-plane round counters reported by message-driven schedulers.
+///
+/// The distributed Themis modes run each auction round as a real message
+/// exchange with phase deadlines; these counters summarize how the protocol
+/// fared — how many rounds ran, how many collected every queried ρ report
+/// in time, and how much traffic missed its phase. In-process policies have
+/// no control plane and report nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ControlPlaneStats {
+    /// Auction rounds started.
+    pub rounds: u64,
+    /// Rounds in which every queried agent's ρ report arrived by the ρ
+    /// deadline (a round with nobody to query counts as complete).
+    pub completed_rounds: u64,
+    /// ρ reports that missed their round's ρ deadline.
+    pub missed_rho_reports: u64,
+    /// Offered participants whose bid or pass missed the bid deadline.
+    pub missed_bids: u64,
+    /// Win notifications voided (lost in transit past the win deadline, or
+    /// wiped by an Arbiter failover).
+    pub voided_wins: u64,
+}
+
+impl ControlPlaneStats {
+    /// Fraction of started rounds that missed at least one queried ρ
+    /// report — the storm matrix's headline degradation metric. `NaN`
+    /// before any round has started.
+    pub fn missed_round_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return f64::NAN;
+        }
+        1.0 - self.completed_rounds as f64 / self.rounds as f64
+    }
 }
 
 /// A cross-app scheduling policy.
@@ -73,6 +109,14 @@ pub trait Scheduler {
     fn supports_incremental(&self) -> bool {
         true
     }
+
+    /// Control-plane round counters, for schedulers that run a real message
+    /// protocol. The engine copies them into the final
+    /// [`SimReport`](crate::metrics::SimReport) so benchmarks can report
+    /// missed-round rates. In-process policies (the default) report `None`.
+    fn control_stats(&self) -> Option<ControlPlaneStats> {
+        None
+    }
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -95,6 +139,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn supports_incremental(&self) -> bool {
         (**self).supports_incremental()
+    }
+
+    fn control_stats(&self) -> Option<ControlPlaneStats> {
+        (**self).control_stats()
     }
 }
 

@@ -69,14 +69,24 @@ impl RollingWindow {
     /// The nearest-rank percentile (`p` in `[0, 100]`) over the samples
     /// currently in the window, or `None` while empty.
     pub fn percentile(&self, p: f64) -> Option<f64> {
+        let [value] = self.percentiles([p]);
+        value
+    }
+
+    /// Several nearest-rank percentiles over one sort of the window —
+    /// callers snapshotting p50 and p99 together pay the clone-and-sort
+    /// once instead of per percentile. `None`s while empty.
+    pub fn percentiles<const N: usize>(&self, ps: [f64; N]) -> [Option<f64>; N] {
         if self.samples.is_empty() {
-            return None;
+            return [None; N];
         }
         let mut values: Vec<f64> = self.samples.iter().map(|(_, v)| *v).collect();
         values.sort_by(|a, b| a.total_cmp(b));
         let n = values.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        Some(values[rank.clamp(1, n) - 1])
+        ps.map(|p| {
+            let rank = ((p / 100.0) * n as f64).ceil() as usize;
+            Some(values[rank.clamp(1, n) - 1])
+        })
     }
 }
 
@@ -158,17 +168,20 @@ impl ServiceWindows {
         &self.rho
     }
 
-    /// Snapshots every windowed metric at `now`.
+    /// Snapshots every windowed metric at `now`, sorting each window at
+    /// most once.
     pub fn summary(&mut self, now: Time) -> WindowSummary {
         self.rho.evict(now);
         self.queueing.evict(now);
         self.renewal.evict(now);
+        let [p50_rho, p99_rho] = self.rho.percentiles([50.0, 99.0]);
+        let [p50_queueing_minutes, p99_queueing_minutes] = self.queueing.percentiles([50.0, 99.0]);
         WindowSummary {
             at: now,
-            p50_rho: self.rho.percentile(50.0),
-            p99_rho: self.rho.percentile(99.0),
-            p50_queueing_minutes: self.queueing.percentile(50.0),
-            p99_queueing_minutes: self.queueing.percentile(99.0),
+            p50_rho,
+            p99_rho,
+            p50_queueing_minutes,
+            p99_queueing_minutes,
             p99_renewal_minutes: self.renewal.percentile(99.0),
             max_queue_rounds: self.max_queue_rounds,
             rho_samples: self.rho.len(),
@@ -251,15 +264,23 @@ impl SteadyStateDetector {
         if self.converged_at.is_some() || now < self.next_check {
             return;
         }
-        self.next_check = now + self.config.check_interval;
-        let Some(p99) = rho_window.percentile(99.0) else {
-            self.recent.clear();
-            return;
-        };
+        // Advance to the next grid point `warmup + k·check_interval`
+        // strictly after `now`. Setting `next_check = now + interval`
+        // instead would let sparse or bursty observations drift the check
+        // grid, delaying every later check by the observation gap.
+        while self.next_check <= now {
+            self.next_check += self.config.check_interval;
+        }
+        // Cheap cardinality guard first: sorting the window for p99 is
+        // pointless while it cannot hold enough samples to count.
         if rho_window.len() < self.config.min_samples {
             self.recent.clear();
             return;
         }
+        let Some(p99) = rho_window.percentile(99.0) else {
+            self.recent.clear();
+            return;
+        };
         self.recent.push_back((p99, backlog));
         while self.recent.len() > self.config.consecutive {
             self.recent.pop_front();
@@ -301,6 +322,24 @@ mod tests {
         assert_eq!(w.percentile(99.0), Some(99.0));
         assert_eq!(w.percentile(100.0), Some(100.0));
         assert_eq!(w.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn batched_percentiles_match_single_calls() {
+        let mut w = RollingWindow::new(Time::minutes(1_000.0));
+        // An adversarial-ish series: duplicates, negatives, non-monotone.
+        for (i, v) in [3.0, -1.0, 3.0, 7.5, 0.0, 12.0, 7.5, 2.25]
+            .iter()
+            .enumerate()
+        {
+            w.push(Time::minutes(i as f64), *v);
+        }
+        let [p50, p99] = w.percentiles([50.0, 99.0]);
+        assert_eq!(p50, w.percentile(50.0));
+        assert_eq!(p99, w.percentile(99.0));
+        assert_eq!(w.percentiles([0.0, 100.0]), [Some(-1.0), Some(12.0)]);
+        let empty = RollingWindow::new(Time::minutes(1.0));
+        assert_eq!(empty.percentiles([50.0, 99.0]), [None, None]);
     }
 
     #[test]
@@ -357,6 +396,34 @@ mod tests {
             storm.observe(t, &w, 3 * i as usize);
         }
         assert_eq!(storm.converged_at(), None);
+    }
+
+    #[test]
+    fn sparse_observations_do_not_drift_the_check_grid() {
+        let config = SteadyConfig {
+            warmup: Time::minutes(100.0),
+            check_interval: Time::minutes(100.0),
+            min_samples: 1,
+            tolerance: 0.2,
+            consecutive: 2,
+            backlog_slack: 2,
+        };
+        let mut d = SteadyStateDetector::new(config);
+        let mut w = RollingWindow::new(Time::minutes(10_000.0));
+        w.push(Time::ZERO, 2.0);
+        // First observation lands mid-interval at t=250 (checks due at
+        // 100, 200, 300, ...). The next check must stay on the grid at
+        // t=300 — a drifting detector would push it to t=350 and miss the
+        // t=320 observation below.
+        d.observe(Time::minutes(250.0), &w, 1);
+        assert_eq!(d.converged_at(), None, "one check cannot converge");
+        d.observe(Time::minutes(320.0), &w, 1);
+        assert_eq!(
+            d.converged_at(),
+            Some(Time::minutes(320.0)),
+            "the t=320 observation is past the t=300 grid point and must \
+             count as the second consecutive stable check"
+        );
     }
 
     #[test]

@@ -37,6 +37,17 @@ fn reliable_dist_matches_in_process_on_smoke_matrix() {
         let themis = scenario.run_on_trace(Policy::themis_default(), trace.clone());
         let mut dist = scenario.run_on_trace(Policy::themis_dist_default(), trace);
         assert_eq!(dist.scheduler, "themis-dist");
+        // The distributed mode additionally reports control-plane round
+        // accounting (the in-process policy has no control plane); on a
+        // reliable transport every started round must have completed.
+        let control = dist.control.take().expect("dist reports control stats");
+        assert_eq!(
+            control.completed_rounds,
+            control.rounds,
+            "reliable transport must complete every round on {}",
+            scenario.id()
+        );
+        assert_eq!(control.missed_rho_reports + control.missed_bids, 0);
         dist.scheduler = themis.scheduler.clone();
         assert_eq!(
             dist,
@@ -181,5 +192,10 @@ fn faults_sweep_matches_committed_baseline() {
         .iter()
         .find(|c| c.policy == "themis-dist")
         .expect("distributed cell");
-    assert_eq!(themis.metrics, dist.metrics);
+    // Equal on every shared metric; the control block exists only on the
+    // distributed side.
+    let mut dist_metrics = dist.metrics.clone();
+    assert!(dist_metrics.control.is_some());
+    dist_metrics.control = None;
+    assert_eq!(themis.metrics, dist_metrics);
 }
